@@ -1,0 +1,71 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # everything, quick scale
+//! repro fig3 table3         # selected experiments
+//! repro all --paper         # the paper's process counts (slow)
+//! repro all --out results/  # artifact directory (default target/repro)
+//! ```
+//!
+//! Each experiment prints its rendered tables/figure data to stdout and
+//! writes CSV files to the artifact directory.
+
+use hpcsim_bench::parse_flags;
+use hpcsim_core::{run_experiment, ExperimentId, Scale};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--paper] [--out DIR] all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (paper, out_dir, positional) = parse_flags(&raw);
+    if positional.is_empty() {
+        usage();
+    }
+    let scale = if paper { Scale::Paper } else { Scale::Quick };
+
+    let want_ablations =
+        positional.iter().any(|p| p == "ablations" || p == "all");
+    let ids: Vec<ExperimentId> = if positional.iter().any(|p| p == "all") {
+        ExperimentId::all().to_vec()
+    } else {
+        positional
+            .iter()
+            .filter(|p| p.as_str() != "ablations")
+            .map(|p| ExperimentId::from_slug(p).unwrap_or_else(|| usage()))
+            .collect()
+    };
+
+    println!("# Early Evaluation of IBM BlueGene/P (SC08) — reproduction run");
+    println!("# scale: {scale:?}; artifacts: {}", out_dir.display());
+    for id in ids {
+        let start = Instant::now();
+        let artifact = run_experiment(id, scale);
+        print!("{}", artifact.render());
+        match artifact.write_csv(&out_dir) {
+            Ok(paths) => {
+                println!(
+                    "# {}: {} artifact file(s) in {:.1}s\n",
+                    id.slug(),
+                    paths.len(),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => eprintln!("# {}: CSV write failed: {e}", id.slug()),
+        }
+    }
+    if want_ablations {
+        let start = Instant::now();
+        let ranks = if paper { 2048 } else { 512 };
+        let table = hpcsim_core::ablation_table(ranks);
+        print!("{}", table.render());
+        let _ = std::fs::create_dir_all(&out_dir);
+        let _ = std::fs::write(out_dir.join("ablations.csv"), table.to_csv());
+        println!("# ablations: done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,73 @@
+//! # hpcsim-bench
+//!
+//! Benchmark harness for the reproduction:
+//!
+//! * the `repro` binary (`cargo run -p hpcsim-bench --bin repro -- all`)
+//!   regenerates every table and figure of the paper and writes text +
+//!   CSV artifacts;
+//! * Criterion benches (`cargo bench`) time the *real* kernels
+//!   (`benches/kernels.rs`) and the simulator itself
+//!   (`benches/simulator.rs`).
+//!
+//! The library part hosts small helpers shared by both.
+
+use std::path::PathBuf;
+
+/// Default artifact directory for `repro` output.
+pub fn default_out_dir() -> PathBuf {
+    PathBuf::from("target/repro")
+}
+
+/// Parse `--paper` / `--out DIR` style flags from raw args; returns
+/// (paper_scale, out_dir, remaining positional args).
+pub fn parse_flags(args: &[String]) -> (bool, PathBuf, Vec<String>) {
+    let mut paper = false;
+    let mut out = default_out_dir();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => paper = true,
+            "--quick" => paper = false,
+            "--out" => {
+                i += 1;
+                if i < args.len() {
+                    out = PathBuf::from(&args[i]);
+                }
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (paper, out, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let args: Vec<String> =
+            ["fig3", "--paper", "--out", "/tmp/x", "table1"].iter().map(|s| s.to_string()).collect();
+        let (paper, out, rest) = parse_flags(&args);
+        assert!(paper);
+        assert_eq!(out, PathBuf::from("/tmp/x"));
+        assert_eq!(rest, vec!["fig3".to_string(), "table1".to_string()]);
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let (paper, out, rest) = parse_flags(&[]);
+        assert!(!paper);
+        assert_eq!(out, default_out_dir());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn quick_flag_overrides() {
+        let args: Vec<String> = ["--paper", "--quick"].iter().map(|s| s.to_string()).collect();
+        let (paper, _, _) = parse_flags(&args);
+        assert!(!paper);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hpcsim-core
+//!
+//! The evaluation framework tying the substrates together: experiment
+//! identifiers for **every table and figure in the paper**, a runner that
+//! regenerates them at two scales, and report types (tables and figure
+//! data series) that render to aligned text and CSV.
+//!
+//! ```no_run
+//! use hpcsim_core::{run_experiment, ExperimentId, Scale};
+//! let artifact = run_experiment(ExperimentId::Fig3, Scale::Quick);
+//! println!("{}", artifact.render());
+//! ```
+//!
+//! [`Scale::Quick`] uses reduced rank counts so the full battery runs in
+//! minutes on a laptop; [`Scale::Paper`] uses the paper's own process
+//! counts (up to 40,000 for POP). Shapes are preserved at both scales —
+//! the integration tests pin them at `Quick`, the `repro` binary records
+//! them at `Paper`.
+
+pub mod ablations;
+pub mod experiment;
+pub mod paper;
+pub mod report;
+
+pub use ablations::{ablation_table, run_ablations, Ablation};
+pub use experiment::{run_experiment, Artifact, ExperimentId, Scale};
+pub use report::{Figure, Series, Table};

@@ -1,0 +1,281 @@
+//! Figures 4–8: the application studies (§III).
+
+use crate::experiment::Scale;
+use crate::report::Figure;
+use hpcsim_apps as apps;
+use hpcsim_machine::registry::{bluegene_l, bluegene_p, xt3, xt4_dc, xt4_qc};
+use hpcsim_machine::ExecMode;
+
+/// Figure 4: POP tenth-degree — (a) total SYD by mode/solver, (b) phase
+/// breakdown on BG/P, (c) BG/P vs XT4 total, (d) phase comparison.
+pub fn fig4(scale: Scale) -> Vec<Figure> {
+    let bgp = bluegene_p();
+    let xt = xt4_dc();
+    let procs: Vec<usize> =
+        [2048usize, 4096, 8192, 16384, 22500, 40000].iter().map(|&p| scale.ranks(p)).collect();
+    let mut procs = procs;
+    procs.dedup();
+    let cfg = apps::PopConfig::default();
+
+    let mut a = Figure::new("Fig 4(a): POP total performance on BG/P", "processes", "SYD");
+    for (label, mode, chron) in [
+        ("VN, ChronGear", ExecMode::Vn, true),
+        ("VN, standard CG", ExecMode::Vn, false),
+        ("DUAL, ChronGear", ExecMode::Dual, true),
+        ("SMP, ChronGear", ExecMode::Smp, true),
+    ] {
+        let pts: Vec<(f64, f64)> = procs
+            .iter()
+            .map(|&p| {
+                let c = apps::PopConfig { chron_gear: chron, ..cfg.clone() };
+                (p as f64, apps::pop_run(&bgp, mode, p, 1, &c).syd)
+            })
+            .collect();
+        a.push_series(label, pts);
+    }
+
+    let mut b = Figure::new(
+        "Fig 4(b): POP phase breakdown on BG/P (VN, ChronGear)",
+        "processes",
+        "seconds per simulated day",
+    );
+    let mut bc = Vec::new();
+    let mut bt = Vec::new();
+    let mut bar = Vec::new();
+    for &p in &procs {
+        let r = apps::pop_run(&bgp, ExecMode::Vn, p, 1, &cfg);
+        bc.push((p as f64, r.baroclinic_s));
+        bt.push((p as f64, r.barotropic_s));
+        bar.push((p as f64, r.barrier_s));
+    }
+    b.push_series("Baroclinic", bc);
+    b.push_series("Barotropic", bt);
+    b.push_series("Timing barrier (imbalance)", bar);
+
+    let mut c = Figure::new("Fig 4(c): POP total, BG/P vs XT4", "processes", "SYD");
+    let mut d = Figure::new(
+        "Fig 4(d): POP phases, BG/P vs XT4",
+        "processes",
+        "seconds per simulated day",
+    );
+    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4")] {
+        let mut syd = Vec::new();
+        let mut bc = Vec::new();
+        let mut bt = Vec::new();
+        for &p in &procs {
+            let r = apps::pop_run(machine, ExecMode::Vn, p, 1, &cfg);
+            syd.push((p as f64, r.syd));
+            bc.push((p as f64, r.baroclinic_s));
+            bt.push((p as f64, r.barotropic_s));
+        }
+        c.push_series(label, syd);
+        d.push_series(format!("{label} baroclinic"), bc);
+        d.push_series(format!("{label} barotropic"), bt);
+    }
+    vec![a, b, c, d]
+}
+
+/// Figure 5: CAM — (a) spectral dycore MPI vs hybrid on BG/P, (b) FV
+/// dycore likewise, (c) spectral vs the XTs, (d) FV vs the XTs.
+pub fn fig5(scale: Scale) -> Vec<Figure> {
+    let bgp = bluegene_p();
+    let core_counts: Vec<usize> =
+        [16usize, 32, 64, 128, 256, 512].iter().map(|&c| scale.ranks(c * 4).max(16)).collect();
+    let mut core_counts = core_counts;
+    core_counts.dedup();
+
+    let sweep = |machine: &hpcsim_machine::MachineSpec,
+                 cfg: &apps::CamConfig,
+                 hybrid: bool|
+     -> Vec<(f64, f64)> {
+        core_counts
+            .iter()
+            .map(|&cores| {
+                let r = if hybrid {
+                    let threads = machine.cores_per_node.min(4);
+                    apps::cam_run(
+                        machine,
+                        ExecMode::Smp,
+                        (cores / threads as usize).max(1),
+                        threads,
+                        cfg,
+                    )
+                } else {
+                    apps::cam_run(machine, ExecMode::Vn, cores, 1, cfg)
+                };
+                (cores as f64, r.years_per_day)
+            })
+            .collect()
+    };
+
+    let mut a = Figure::new("Fig 5(a): CAM spectral on BG/P", "cores", "simulated years/day");
+    for cfg in [apps::CamConfig::t42(), apps::CamConfig::t85()] {
+        a.push_series(format!("{} MPI", cfg.name), sweep(&bgp, &cfg, false));
+        a.push_series(format!("{} hybrid", cfg.name), sweep(&bgp, &cfg, true));
+    }
+
+    let mut b = Figure::new("Fig 5(b): CAM finite-volume on BG/P", "cores", "simulated years/day");
+    for cfg in [apps::CamConfig::fv_2deg(), apps::CamConfig::fv_half_deg()] {
+        b.push_series(format!("{} hybrid", cfg.name), sweep(&bgp, &cfg, true));
+    }
+    b.push_series("FV 1.9x2.5 L26 MPI", sweep(&bgp, &apps::CamConfig::fv_2deg(), false));
+
+    let mut c = Figure::new("Fig 5(c): CAM T85 across machines", "cores", "simulated years/day");
+    let mut d =
+        Figure::new("Fig 5(d): CAM FV 1.9x2.5 across machines", "cores", "simulated years/day");
+    for (machine, label) in [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_qc(), "XT4")] {
+        c.push_series(label, sweep(&machine, &apps::CamConfig::t85(), true));
+        d.push_series(label, sweep(&machine, &apps::CamConfig::fv_2deg(), true));
+    }
+    vec![a, b, c, d]
+}
+
+/// Figure 6: S3D weak scaling — cost per grid point per step across
+/// machines.
+pub fn fig6(scale: Scale) -> Vec<Figure> {
+    let procs: Vec<usize> =
+        [64usize, 512, 1728, 4096, 12000].iter().map(|&p| scale.ranks(p)).collect();
+    let mut procs = procs;
+    procs.dedup();
+    let cfg = apps::S3dConfig::default();
+    let mut f = Figure::new(
+        "Fig 6: S3D weak scaling (50^3 points/rank)",
+        "processes",
+        "core-hours per grid point per step",
+    );
+    for (machine, label) in
+        [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_dc(), "XT4/DC"), (xt4_qc(), "XT4/QC")]
+    {
+        let pts: Vec<(f64, f64)> = procs
+            .iter()
+            .map(|&p| {
+                (p as f64, apps::s3d_run(&machine, ExecMode::Vn, p, &cfg).core_hours_per_point_step)
+            })
+            .collect();
+        f.push_series(label, pts);
+    }
+    vec![f]
+}
+
+/// Figure 7: GYRO — (a) B1-std strong scaling, (b) B3-gtc strong scaling,
+/// (c) weak-scaled modified B3-gtc across machines.
+pub fn fig7(scale: Scale) -> Vec<Figure> {
+    let b1_procs: Vec<usize> = [16usize, 64, 256, 1024, 2048]
+        .iter()
+        .map(|&p| scale.ranks(p).max(16) / 16 * 16)
+        .collect();
+    let mut b1_procs = b1_procs;
+    b1_procs.dedup();
+
+    let mut a = Figure::new("Fig 7(a): GYRO B1-std strong scaling", "processes", "steps/second");
+    let mut b = Figure::new("Fig 7(b): GYRO B3-gtc strong scaling", "processes", "steps/second");
+    for (machine, label) in [(bluegene_p(), "BG/P"), (xt4_qc(), "XT4")] {
+        let pts: Vec<(f64, f64)> = b1_procs
+            .iter()
+            .map(|&p| {
+                (p as f64, 1.0 / apps::gyro_run(&machine, p, &apps::GyroConfig::b1_std()).seconds_per_step)
+            })
+            .collect();
+        a.push_series(label, pts);
+        let b3_procs: Vec<usize> =
+            b1_procs.iter().map(|&p| (p / 64 * 64).max(64)).collect::<Vec<_>>();
+        let mut b3 = b3_procs.clone();
+        b3.dedup();
+        let pts: Vec<(f64, f64)> = b3
+            .iter()
+            .map(|&p| {
+                (p as f64, 1.0 / apps::gyro_run(&machine, p, &apps::GyroConfig::b3_gtc()).seconds_per_step)
+            })
+            .collect();
+        b.push_series(label, pts);
+    }
+
+    let mut c = Figure::new(
+        "Fig 7(c): GYRO modified B3-gtc weak scaling",
+        "processes",
+        "seconds per step",
+    );
+    let weak_procs: Vec<usize> = [64usize, 128, 256, 512, 1024]
+        .iter()
+        .map(|&p| scale.ranks(p).max(64) / 64 * 64)
+        .collect();
+    let mut weak = weak_procs;
+    weak.dedup();
+    let cfg = apps::GyroConfig { problem: apps::GyroProblem::B3GtcModified, steps: 4 };
+    for (machine, label) in [(bluegene_p(), "BG/P"), (bluegene_l(), "BG/L"), (xt4_dc(), "XT")] {
+        let pts: Vec<(f64, f64)> = weak
+            .iter()
+            .map(|&p| (p as f64, apps::gyro_run(&machine, p, &cfg).seconds_per_step))
+            .collect();
+        c.push_series(label, pts);
+    }
+    vec![a, b, c]
+}
+
+/// Figure 8: LAMMPS (a) and AMBER/PMEMD (b) on RuBisCO, BG/P vs XT3 and
+/// XT4/DC.
+pub fn fig8(scale: Scale) -> Vec<Figure> {
+    let procs: Vec<usize> =
+        [128usize, 256, 512, 1024, 2048, 4096].iter().map(|&p| scale.ranks(p)).collect();
+    let mut procs = procs;
+    procs.dedup();
+
+    let mut panels = Vec::new();
+    for (cfg, title) in [
+        (apps::MdConfig::lammps_rub(), "Fig 8(a): LAMMPS, RuBisCO 290,220 atoms"),
+        (apps::MdConfig::pmemd_rub(), "Fig 8(b): AMBER/PMEMD, RuBisCO 290,220 atoms"),
+    ] {
+        let mut f = Figure::new(title, "processes", "ns/day");
+        for (machine, label) in [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_dc(), "XT4/DC")] {
+            let pts: Vec<(f64, f64)> = procs
+                .iter()
+                .map(|&p| (p as f64, apps::md_run(&machine, p, &cfg).ns_per_day))
+                .collect();
+            f.push_series(label, pts);
+        }
+        panels.push(f);
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_quick_has_four_panels_with_shapes() {
+        let panels = fig4(Scale::Quick);
+        assert_eq!(panels.len(), 4);
+        // panel (c): XT above BG/P at every common x
+        let c = &panels[2];
+        let bgp = &c.series[0];
+        let xt = &c.series[1];
+        for (p_b, p_x) in bgp.points.iter().zip(&xt.points) {
+            assert!(p_x.1 > p_b.1, "XT should lead at {} procs", p_b.0);
+        }
+    }
+
+    #[test]
+    fn fig6_quick_flat_series() {
+        let panels = fig6(Scale::Quick);
+        let f = &panels[0];
+        for s in &f.series {
+            let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+            let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = ys.iter().cloned().fold(0.0, f64::max);
+            assert!(max / min < 1.25, "{} spread {:.2}", s.name, max / min);
+        }
+    }
+
+    #[test]
+    fn fig8_quick_lammps_beats_pmemd_at_scale() {
+        let panels = fig8(Scale::Quick);
+        let lammps = &panels[0];
+        let pmemd = &panels[1];
+        // on BG/P at the largest quick scale, LAMMPS achieves more ns/day
+        let last_x = lammps.series[0].points.last().unwrap().0;
+        let l = lammps.y_at("BG/P", last_x).unwrap();
+        let p = pmemd.y_at("BG/P", last_x).unwrap();
+        assert!(l > p, "LAMMPS {l:.2} vs PMEMD {p:.2} ns/day");
+    }
+}

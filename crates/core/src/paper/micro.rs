@@ -1,0 +1,370 @@
+//! Tables 1–2, Figures 1–3, and the TOP500 run (§I–II).
+
+use crate::experiment::Scale;
+use crate::report::{Figure, Table};
+use hpcsim_engine::units::{fmt_bytes_bin, fmt_flops};
+use hpcsim_hpcc as hpcc;
+use hpcsim_machine::registry::{all_machines, bluegene_p, xt4_qc};
+use hpcsim_machine::{ExecMode, L2Kind, MachineSpec};
+use hpcsim_net::DType;
+use hpcsim_topo::{Grid2D, Mapping, Placement};
+
+/// Table 1: System Configuration Summary — the five machines' static
+/// parameters, rows as features.
+pub fn table1() -> Table {
+    let machines = all_machines();
+    let mut headers = vec!["Feature"];
+    let labels: Vec<String> = machines.iter().map(|m| m.id.label().to_string()).collect();
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    let mut t = Table::new("Table 1: System Configuration Summary", &headers);
+
+    let row = |name: &str, f: &dyn Fn(&MachineSpec) -> String| -> Vec<String> {
+        let mut r = vec![name.to_string()];
+        r.extend(machines.iter().map(f));
+        r
+    };
+    t.push_row(row("Cores per node", &|m| m.cores_per_node.to_string()));
+    t.push_row(row("Core clock (MHz)", &|m| format!("{:.0}", m.core.clock_hz / 1e6)));
+    t.push_row(row("Cache coherence", &|m| format!("{:?}", m.coherence)));
+    t.push_row(row("L1 data / core", &|m| fmt_bytes_bin(m.core.l1_data_kib * 1024)));
+    t.push_row(row("L2 / core", &|m| match m.core.l2 {
+        L2Kind::PrefetchEngine { streams } => format!("{streams}-stream prefetch"),
+        L2Kind::Cache { kib } => fmt_bytes_bin(kib * 1024),
+    }));
+    t.push_row(row("L3 shared", &|m| {
+        m.l3_shared_mib.map_or("n/a".into(), |mib| format!("{mib}MiB"))
+    }));
+    t.push_row(row("Memory per node (GB)", &|m| format!("{}", m.mem.capacity_gib)));
+    t.push_row(row("Memory BW (GB/s)", &|m| format!("{:.1}", m.mem.bw_bytes / 1e9)));
+    t.push_row(row("Peak perf per node", &|m| fmt_flops(m.node_peak_flops())));
+    t.push_row(row("Torus injection (GB/s)", &|m| format!("{:.1}", m.nic.injection_bw / 1e9)));
+    t.push_row(row("Tree BW (MB/s)", &|m| {
+        m.nic.tree_bw.map_or("n/a".into(), |b| format!("{:.0}", b / 1e6))
+    }));
+    t.push_row(row("Cores per rack", &|m| m.cores_per_rack().to_string()));
+    t
+}
+
+/// Table 2: HPCC single-process (SP), embarrassingly-parallel (EP) and
+/// communication tests, BG/P vs XT4/QC.
+pub fn table2(scale: Scale) -> Table {
+    let ranks = scale.ranks(4096);
+    let bgp = bluegene_p();
+    let xt = xt4_qc();
+    let mut t = Table::new(
+        format!("Table 2: HPCC SP/EP and communication tests ({ranks} processes, VN mode)"),
+        &["Test", "BG/P", "XT4/QC"],
+    );
+    use hpcc::epkernels::{dgemm_rate, fft_rate, ra_rate, stream_triad_rate, EpMode};
+    let pair = |f: &dyn Fn(&MachineSpec) -> f64, unit: &str| -> (String, String) {
+        (format!("{:.2} {unit}", f(&bgp)), format!("{:.2} {unit}", f(&xt)))
+    };
+    let mut add = |name: &str, (b, x): (String, String)| {
+        t.push_row(vec![name.to_string(), b, x]);
+    };
+    add("SP DGEMM (GF/s)", pair(&|m| dgemm_rate(m, EpMode::Single, 2000), ""));
+    add("EP DGEMM (GF/s)", pair(&|m| dgemm_rate(m, EpMode::Parallel, 2000), ""));
+    add("SP STREAM triad (GB/s)", pair(&|m| stream_triad_rate(m, EpMode::Single, 4_000_000), ""));
+    add("EP STREAM triad (GB/s)", pair(&|m| stream_triad_rate(m, EpMode::Parallel, 4_000_000), ""));
+    add("EP FFT (GF/s)", pair(&|m| fft_rate(m, EpMode::Parallel, 1 << 20), ""));
+    add("EP RandomAccess (GUP/s)", pair(&|m| ra_rate(m, EpMode::Parallel, 1 << 28), ""));
+    add(
+        "Ping-pong latency (us)",
+        pair(&|m| hpcc::pingpong(m, 8, 1 << 21).0 * 1e6, ""),
+    );
+    add(
+        "Ping-pong bandwidth (GB/s)",
+        pair(&|m| hpcc::pingpong(m, 8, 1 << 21).1 / 1e9, ""),
+    );
+    add(
+        "Random-ring latency (us)",
+        pair(&|m| hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).latency_s * 1e6, ""),
+    );
+    add(
+        "Random-ring BW (MB/s)",
+        pair(&|m| hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).bandwidth / 1e6, ""),
+    );
+    t
+}
+
+fn fig1_proc_counts(scale: Scale) -> Vec<usize> {
+    let paper = [1024usize, 2048, 4096, 8192, 16384];
+    let mut v: Vec<usize> = paper.iter().map(|&p| scale.ranks(p)).collect();
+    v.dedup();
+    v
+}
+
+/// Figure 1: HPCC parallel tests — (a) HPL, (b) FFT, (c) PTRANS,
+/// (d) RandomAccess, BG/P vs XT4/QC in VN mode. XT problems are sized to
+/// its 4× node memory, as in the paper.
+pub fn fig1(scale: Scale) -> Vec<Figure> {
+    let bgp = bluegene_p();
+    let xt = xt4_qc();
+    let procs = fig1_proc_counts(scale);
+
+    let mut hpl_fig = Figure::new("Fig 1(a): HPL performance", "processes", "GFlop/s");
+    let mut fft_fig = Figure::new("Fig 1(b): FFT performance", "processes", "GFlop/s");
+    let mut ptr_fig = Figure::new("Fig 1(c): PTRANS performance", "processes", "GB/s");
+    let mut ra_fig = Figure::new("Fig 1(d): RandomAccess performance", "processes", "GUP/s");
+
+    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4/QC")] {
+        let mut hpl_pts = Vec::new();
+        let mut fft_pts = Vec::new();
+        let mut ptr_pts = Vec::new();
+        let mut ra_pts = Vec::new();
+        for &p in &procs {
+            let n = hpcc::hpl_problem_size(machine, p, ExecMode::Vn, 0.8);
+            let cfg = hpcc::HplConfig { n, nb: 144, grid: Grid2D::near_square(p), samples: 6 };
+            hpl_pts.push((p as f64, hpcc::hpl_run(machine, ExecMode::Vn, &cfg).gflops));
+            let nf = hpcc::fft::fft_problem_size(machine, p, ExecMode::Vn, 0.3);
+            fft_pts.push((p as f64, hpcc::fft_run(machine, ExecMode::Vn, p, nf).gflops));
+            // PTRANS matrix ~ sqrt of HPL's footprint share
+            let placement = if machine.id.is_bluegene() {
+                Placement::Compact
+            } else {
+                Placement::Fragmented { spread: 1.5, seed: p as u64 }
+            };
+            ptr_pts.push((
+                p as f64,
+                hpcc::ptrans_run(machine, ExecMode::Vn, p, n / 2, placement).gbps,
+            ));
+            ra_pts.push((
+                p as f64,
+                hpcc::ra_run(machine, ExecMode::Vn, p, 1 << 26, 1 << 16).gups,
+            ));
+        }
+        hpl_fig.push_series(label, hpl_pts);
+        fft_fig.push_series(label, fft_pts);
+        ptr_fig.push_series(label, ptr_pts);
+        ra_fig.push_series(label, ra_pts);
+    }
+    vec![hpl_fig, fft_fig, ptr_fig, ra_fig]
+}
+
+/// Figure 2: HALO — (a,b) protocol comparison, (c,d) mapping comparison,
+/// (e,f) virtual-grid shape scan, on BG/P.
+pub fn fig2(scale: Scale) -> Vec<Figure> {
+    let m = bluegene_p();
+    let words: Vec<u64> = vec![2, 8, 32, 128, 512, 2048, 8192, 32768];
+    let mut panels = Vec::new();
+
+    // (a) protocols, VN mode, 8192 cores as 128x64; (b) SMP, 2048 as 64x32
+    for (title, mode, paper_ranks) in [
+        ("Fig 2(a): protocols, VN mode", ExecMode::Vn, 8192usize),
+        ("Fig 2(b): protocols, SMP mode", ExecMode::Smp, 2048),
+    ] {
+        let ranks = scale.ranks(paper_ranks);
+        let grid = Grid2D::near_square(ranks);
+        let mut fig = Figure::new(title, "halo words", "usec per exchange");
+        for proto in hpcc::HaloProtocol::all() {
+            let pts: Vec<(f64, f64)> = words
+                .iter()
+                .map(|&w| {
+                    let cfg = hpcc::HaloConfig { grid, words: w, protocol: proto, reps: 2 };
+                    (w as f64, hpcc::halo_run(&m, mode, Mapping::txyz(), &cfg) * 1e6)
+                })
+                .collect();
+            fig.push_series(proto.label(), pts);
+        }
+        panels.push(fig);
+    }
+
+    // (c,d) mappings at 4096 and 8192 cores, VN
+    for (title, paper_ranks) in
+        [("Fig 2(c): mappings, 4096 cores", 4096usize), ("Fig 2(d): mappings, 8192 cores", 8192)]
+    {
+        let ranks = scale.ranks(paper_ranks);
+        let grid = Grid2D::near_square(ranks);
+        let mut fig = Figure::new(title, "halo words", "usec per exchange");
+        for (name, mapping) in Mapping::fig2_set() {
+            let pts: Vec<(f64, f64)> = words
+                .iter()
+                .map(|&w| {
+                    let cfg = hpcc::HaloConfig {
+                        grid,
+                        words: w,
+                        protocol: hpcc::HaloProtocol::IrecvIsend,
+                        reps: 2,
+                    };
+                    (w as f64, hpcc::halo_run(&m, ExecMode::Vn, mapping, &cfg) * 1e6)
+                })
+                .collect();
+            fig.push_series(name, pts);
+        }
+        panels.push(fig);
+    }
+
+    // (e,f) grid-size scan with the default mapping
+    for (title, mode, grids) in [
+        (
+            "Fig 2(e): grid sizes, VN mode",
+            ExecMode::Vn,
+            vec![256usize, 1024, 4096, 8192],
+        ),
+        ("Fig 2(f): grid sizes, SMP mode", ExecMode::Smp, vec![256, 1024, 2048]),
+    ] {
+        let mut fig = Figure::new(title, "halo words", "usec per exchange");
+        for paper_ranks in grids {
+            let ranks = scale.ranks(paper_ranks);
+            let grid = Grid2D::near_square(ranks);
+            let mapping = if mode == ExecMode::Smp { Mapping::xyzt() } else { Mapping::txyz() };
+            let pts: Vec<(f64, f64)> = words
+                .iter()
+                .map(|&w| {
+                    let cfg = hpcc::HaloConfig {
+                        grid,
+                        words: w,
+                        protocol: hpcc::HaloProtocol::IrecvIsend,
+                        reps: 2,
+                    };
+                    (w as f64, hpcc::halo_run(&m, mode, mapping, &cfg) * 1e6)
+                })
+                .collect();
+            fig.push_series(format!("{}x{}", grid.rows, grid.cols), pts);
+        }
+        panels.push(fig);
+    }
+    panels
+}
+
+/// Figure 3: IMB collectives — Allreduce and Bcast, latency vs message
+/// size at 8192 processes and vs process count at 32 KiB, BG/P (DP and
+/// SP Allreduce) vs XT4/QC.
+pub fn fig3(scale: Scale) -> Vec<Figure> {
+    let bgp = bluegene_p();
+    let xt = xt4_qc();
+    let fixed_ranks = scale.ranks(8192);
+    let sizes: Vec<u64> = vec![8, 64, 512, 4096, 32 * 1024, 256 * 1024, 2 << 20];
+    let proc_counts: Vec<usize> =
+        [256usize, 1024, 4096, 8192, 16384].iter().map(|&p| scale.ranks(p)).collect();
+    let fixed_bytes = 32 * 1024;
+
+    let mut a = Figure::new(
+        format!("Fig 3(a): Allreduce latency vs message size ({fixed_ranks} procs)"),
+        "message bytes",
+        "usec",
+    );
+    let mut b = Figure::new(
+        "Fig 3(b): Allreduce latency vs process count (32KiB)",
+        "processes",
+        "usec",
+    );
+    let mut c = Figure::new(
+        format!("Fig 3(c): Bcast latency vs message size ({fixed_ranks} procs)"),
+        "message bytes",
+        "usec",
+    );
+    let mut d = Figure::new("Fig 3(d): Bcast latency vs process count (32KiB)", "processes", "usec");
+
+    let series = |machine: &MachineSpec, dtype: DType| -> Vec<(f64, f64)> {
+        sizes
+            .iter()
+            .map(|&s| {
+                (s as f64, hpcc::imb_allreduce(machine, ExecMode::Vn, fixed_ranks, s, dtype).usec)
+            })
+            .collect()
+    };
+    a.push_series("BG/P (double)", series(&bgp, DType::F64));
+    a.push_series("BG/P (single)", series(&bgp, DType::F32));
+    a.push_series("XT4/QC (double)", series(&xt, DType::F64));
+
+    let scan = |machine: &MachineSpec, dtype: DType| -> Vec<(f64, f64)> {
+        proc_counts
+            .iter()
+            .map(|&p| {
+                (p as f64, hpcc::imb_allreduce(machine, ExecMode::Vn, p, fixed_bytes, dtype).usec)
+            })
+            .collect()
+    };
+    b.push_series("BG/P (double)", scan(&bgp, DType::F64));
+    b.push_series("BG/P (single)", scan(&bgp, DType::F32));
+    b.push_series("XT4/QC (double)", scan(&xt, DType::F64));
+
+    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4/QC")] {
+        let pts: Vec<(f64, f64)> = sizes
+            .iter()
+            .map(|&s| (s as f64, hpcc::imb_bcast(machine, ExecMode::Vn, fixed_ranks, s).usec))
+            .collect();
+        c.push_series(label, pts);
+        let pts: Vec<(f64, f64)> = proc_counts
+            .iter()
+            .map(|&p| (p as f64, hpcc::imb_bcast(machine, ExecMode::Vn, p, fixed_bytes).usec))
+            .collect();
+        d.push_series(label, pts);
+    }
+    vec![a, b, c, d]
+}
+
+/// §II.C: the TOP500 HPL run on the ORNL BG/P with power metering,
+/// alongside the paper's reported values.
+pub fn top500_table() -> Table {
+    let r = hpcc::top500_run(&bluegene_p());
+    let mut t = Table::new(
+        "TOP500 HPL on ORNL BG/P (N=614399, NB=96, 64x128 grid, 8192 cores)",
+        &["Metric", "Simulated", "Paper"],
+    );
+    t.push_row(vec![
+        "HPL performance (GFlop/s)".into(),
+        format!("{:.0}", r.hpl.gflops),
+        "21400".into(),
+    ]);
+    t.push_row(vec![
+        "Efficiency of peak".into(),
+        format!("{:.1}%", r.hpl.efficiency * 100.0),
+        "76.7%".into(),
+    ]);
+    t.push_row(vec!["Power (kW)".into(), format!("{:.1}", r.power_kw), "~63".into()]);
+    t.push_row(vec![
+        "MFlops/W".into(),
+        format!("{:.1}", r.mflops_per_watt),
+        "310.93 (Green500 #5)".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_machines_and_features() {
+        let t = table1();
+        assert_eq!(t.headers.len(), 6); // feature + 5 machines
+        assert_eq!(t.rows.len(), 12);
+        let rendered = t.render();
+        assert!(rendered.contains("BG/P"));
+        assert!(rendered.contains("XT4/QC"));
+        assert!(rendered.contains("13.60 GF/s"));
+    }
+
+    #[test]
+    fn table2_quick_runs() {
+        let t = table2(Scale::Quick);
+        assert_eq!(t.rows.len(), 10);
+        // every cell filled
+        assert!(t.rows.iter().all(|r| r.iter().all(|c| !c.is_empty())));
+    }
+
+    #[test]
+    fn fig3_quick_shapes() {
+        let panels = fig3(Scale::Quick);
+        assert_eq!(panels.len(), 4);
+        let a = &panels[0];
+        // DP beats SP on BG/P at 32KiB
+        let dp = a.y_at("BG/P (double)", 32.0 * 1024.0).unwrap();
+        let sp = a.y_at("BG/P (single)", 32.0 * 1024.0).unwrap();
+        assert!(sp > 2.0 * dp, "SP {sp} vs DP {dp}");
+        // Bcast: BG/P under XT at every size
+        let c = &panels[2];
+        for s in [8.0, 4096.0, 32.0 * 1024.0] {
+            assert!(c.y_at("BG/P", s).unwrap() < c.y_at("XT4/QC", s).unwrap());
+        }
+    }
+
+    #[test]
+    fn top500_table_renders() {
+        let t = top500_table();
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.render().contains("MFlops/W"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regeneration of the paper's tables and figures, one function per
+//! artifact. See `DESIGN.md` §4 for the experiment index.
+
+pub mod apps;
+pub mod micro;
+pub mod power;

@@ -1,0 +1,33 @@
+//! # hpcsim-engine
+//!
+//! Discrete-event simulation core underpinning the BlueGene/P reproduction
+//! study. This crate is deliberately free of any machine- or network-specific
+//! knowledge; it provides the four ingredients every layer above builds on:
+//!
+//! * [`SimTime`] — integer virtual time with picosecond resolution, so that
+//!   simulations are exactly reproducible (no floating-point drift in the
+//!   event order) while still resolving sub-nanosecond core cycles
+//!   (an 850 MHz PowerPC 450 cycle is ~1176 ps).
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events
+//!   with FIFO tie-breaking for equal timestamps.
+//! * [`rng`] — splittable deterministic random streams, so that independent
+//!   simulation components draw from independent streams derived from a
+//!   single experiment seed.
+//! * [`stats`] — online statistics, histograms and time-weighted integrals
+//!   (the power model integrates watts over virtual time with these).
+//!
+//! The crate follows the conventions of the session's HPC-parallel guides:
+//! allocation-free hot paths (the queue reuses its heap storage), data-race
+//! freedom by construction (no shared mutable state; parallelism lives in
+//! higher layers), and property-tested invariants.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::{split_seed, splitmix64, DetRng};
+pub use stats::{Histogram, OnlineStats, TimeWeighted};
+pub use time::SimTime;

@@ -1,0 +1,175 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that orders events by `(time, seq)`:
+//! earliest time first, and for equal times, insertion order (FIFO). The
+//! sequence-number tie-break is what makes whole-system simulations
+//! reproducible — without it, `BinaryHeap`'s arbitrary ordering of equal
+//! keys would leak into message-matching order and change results between
+//! runs.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of payload type `T` scheduled at a virtual time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<T> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Monotone insertion index; breaks ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for ScheduledEvent<T> {}
+
+impl<T> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// # Example
+/// ```
+/// use hpcsim_engine::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(5), "b");
+/// q.push(SimTime::from_ns(1), "a");
+/// q.push(SimTime::from_ns(5), "c");
+/// assert_eq!(q.pop().unwrap().payload, "a");
+/// assert_eq!(q.pop().unwrap().payload, "b"); // FIFO among equal times
+/// assert_eq!(q.pop().unwrap().payload, "c");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedule `payload` at `time`. Events pushed with equal times pop in
+    /// push order.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop()
+    }
+
+    /// Peek at the earliest event's timestamp without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events, keeping allocated storage.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &(t, v) in &[(30u64, 3), (10, 1), (20, 2), (40, 4)] {
+            q.push(SimTime::from_ns(t), v);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for v in 0..100 {
+            q.push(SimTime::from_ns(7), v);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(9), 'x');
+        q.push(SimTime::from_ns(2), 'y');
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+        assert_eq!(q.pop().unwrap().payload, 'y');
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::SEC, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.payload), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(5), 5);
+        q.push(SimTime::from_ns(1), 1);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.push(SimTime::from_ns(3), 3);
+        q.push(SimTime::from_ns(2), 2);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(rest, vec![2, 3, 5]);
+    }
+}

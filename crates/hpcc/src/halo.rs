@@ -1,0 +1,216 @@
+//! The Wallcraft HALO benchmark (Figure 2).
+//!
+//! Simulates the nearest-neighbour exchange of a 1–2 row/column halo from
+//! a 2-D array on a virtual processor grid (§II.B.1): exchange N words
+//! with the logical north and 2N with the south; once those arrive,
+//! N words west and 2N east. The suite varies three axes, exactly as the
+//! paper's Figure 2 does:
+//!
+//! * (a,b) **MPI-1 protocol**: irecv-first, isend-first, or
+//!   `MPI_Sendrecv` — the engine's unexpected-copy and serialization
+//!   semantics differentiate them;
+//! * (c,d) **process→processor mapping**: the predefined BG/P orderings;
+//! * (e,f) **virtual grid shape** at fixed core count.
+
+use hpcsim_engine::SimTime;
+use hpcsim_machine::{ExecMode, MachineSpec};
+use hpcsim_mpi::{FnProgram, Mpi, RankLayout, SimConfig, TraceSim};
+use hpcsim_topo::{Grid2D, Mapping};
+use serde::{Deserialize, Serialize};
+
+/// Which MPI-1 protocol variant performs the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HaloProtocol {
+    /// Post both receives, then both sends, then wait (best overlap).
+    IrecvIsend,
+    /// Sends first, receives after (risks unexpected-message copies).
+    IsendIrecv,
+    /// Two `MPI_Sendrecv` calls per direction pair (serializes).
+    Sendrecv,
+}
+
+impl HaloProtocol {
+    /// All protocol variants, for sweeps.
+    pub fn all() -> [HaloProtocol; 3] {
+        [HaloProtocol::IrecvIsend, HaloProtocol::IsendIrecv, HaloProtocol::Sendrecv]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HaloProtocol::IrecvIsend => "MPI_IRECV/ISEND",
+            HaloProtocol::IsendIrecv => "MPI_ISEND/IRECV",
+            HaloProtocol::Sendrecv => "MPI_SENDRECV",
+        }
+    }
+}
+
+/// A HALO experiment.
+#[derive(Debug, Clone)]
+pub struct HaloConfig {
+    /// Virtual process grid (e.g. 128×64 for 8192 cores).
+    pub grid: Grid2D,
+    /// Words (4 bytes each) per single-width halo row/column.
+    pub words: u64,
+    /// Protocol variant.
+    pub protocol: HaloProtocol,
+    /// Exchange repetitions (result is per-exchange).
+    pub reps: u32,
+}
+
+fn record_exchange(mpi: &mut Mpi, grid: Grid2D, words: u64, protocol: HaloProtocol, round: u32) {
+    let me = mpi.rank();
+    let north = grid.north(me);
+    let south = grid.south(me);
+    let west = grid.west(me);
+    let east = grid.east(me);
+    let b1 = 4 * words; // N words north/west
+    let b2 = 8 * words; // 2N words south/east
+    let t = round * 8;
+    match protocol {
+        HaloProtocol::IrecvIsend => {
+            // phase 1: north/south
+            let r1 = mpi.irecv(south, t, b1);
+            let r2 = mpi.irecv(north, t + 1, b2);
+            let s1 = mpi.isend(north, t, b1);
+            let s2 = mpi.isend(south, t + 1, b2);
+            mpi.waitall(&[r1, r2, s1, s2]);
+            // phase 2: west/east
+            let r3 = mpi.irecv(east, t + 2, b1);
+            let r4 = mpi.irecv(west, t + 3, b2);
+            let s3 = mpi.isend(west, t + 2, b1);
+            let s4 = mpi.isend(east, t + 3, b2);
+            mpi.waitall(&[r3, r4, s3, s4]);
+        }
+        HaloProtocol::IsendIrecv => {
+            let s1 = mpi.isend(north, t, b1);
+            let s2 = mpi.isend(south, t + 1, b2);
+            let r1 = mpi.irecv(south, t, b1);
+            let r2 = mpi.irecv(north, t + 1, b2);
+            mpi.waitall(&[s1, s2, r1, r2]);
+            let s3 = mpi.isend(west, t + 2, b1);
+            let s4 = mpi.isend(east, t + 3, b2);
+            let r3 = mpi.irecv(east, t + 2, b1);
+            let r4 = mpi.irecv(west, t + 3, b2);
+            mpi.waitall(&[s3, s4, r3, r4]);
+        }
+        HaloProtocol::Sendrecv => {
+            mpi.sendrecv(north, t, b1, south, t, b1);
+            mpi.sendrecv(south, t + 1, b2, north, t + 1, b2);
+            mpi.sendrecv(west, t + 2, b1, east, t + 2, b1);
+            mpi.sendrecv(east, t + 3, b2, west, t + 3, b2);
+        }
+    }
+}
+
+/// Run a HALO experiment; returns seconds per exchange (makespan / reps).
+pub fn halo_run(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+) -> f64 {
+    let ranks = cfg.grid.size();
+    let layout = if machine.id.is_bluegene() {
+        RankLayout::bluegene(machine, ranks, mode, mapping)
+    } else {
+        RankLayout::default_for(machine, ranks, mode)
+    };
+    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+    let grid = cfg.grid;
+    let (words, protocol, reps) = (cfg.words, cfg.protocol, cfg.reps);
+    let res = sim.run(&FnProgram(move |mpi: &mut Mpi| {
+        for round in 0..reps {
+            record_exchange(mpi, grid, words, protocol, round);
+        }
+    }));
+    res.makespan().as_secs() / reps as f64
+}
+
+/// Convenience: microseconds per exchange.
+pub fn halo_us(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, cfg: &HaloConfig) -> f64 {
+    halo_run(machine, mode, mapping, cfg) * 1e6
+}
+
+/// Sanity floor used by tests: an exchange can't beat four message
+/// latencies.
+pub fn latency_floor(machine: &MachineSpec) -> SimTime {
+    (machine.nic.o_send + machine.nic.o_recv) * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim_machine::registry::bluegene_p;
+
+    fn cfg(grid: Grid2D, words: u64, protocol: HaloProtocol) -> HaloConfig {
+        HaloConfig { grid, words, protocol, reps: 2 }
+    }
+
+    /// Fig 2(a): performance is "relatively insensitive to the choice of
+    /// protocol, though MPI_SENDRECV is slower ... for certain halo
+    /// sizes".
+    #[test]
+    fn sendrecv_never_faster_and_sometimes_slower() {
+        let grid = Grid2D::new(16, 8); // 128 ranks keeps the test quick
+        let m = bluegene_p();
+        let mut sendrecv_penalty = 0usize;
+        for words in [16u64, 512, 8192, 65536] {
+            let t_ii = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(grid, words, HaloProtocol::IrecvIsend));
+            let t_sr = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(grid, words, HaloProtocol::Sendrecv));
+            assert!(t_sr > t_ii * 0.95, "words={words}: sendrecv {t_sr} vs {t_ii}");
+            if t_sr > t_ii * 1.07 {
+                sendrecv_penalty += 1;
+            }
+        }
+        assert!(sendrecv_penalty >= 2, "sendrecv should lag for some sizes");
+    }
+
+    /// Fig 2(c,d): mapping choice is unimportant for small halos,
+    /// important for large ones.
+    #[test]
+    fn mapping_matters_only_when_bandwidth_bound() {
+        let grid = Grid2D::new(32, 32); // 1024 ranks
+        let m = bluegene_p();
+        let spread = |words: u64| {
+            let times: Vec<f64> = Mapping::fig2_set()
+                .iter()
+                .map(|(_, map)| {
+                    halo_run(&m, ExecMode::Vn, *map, &cfg(grid, words, HaloProtocol::IrecvIsend))
+                })
+                .collect();
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            max / min
+        };
+        let small = spread(8);
+        let large = spread(32_768);
+        assert!(small < 1.35, "small-halo mapping spread {small:.2}");
+        assert!(large > small, "large {large:.2} should exceed small {small:.2}");
+        assert!(large > 1.25, "large-halo mapping spread {large:.2}");
+    }
+
+    /// Fig 2(e,f): cost does not grow with the processor-grid size —
+    /// "good scalability for the halo operator".
+    #[test]
+    fn grid_size_does_not_blow_up_cost() {
+        let m = bluegene_p();
+        let t_small = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(Grid2D::new(8, 8), 2048, HaloProtocol::IrecvIsend));
+        let t_big = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(Grid2D::new(32, 16), 2048, HaloProtocol::IrecvIsend));
+        assert!(
+            t_big < t_small * 2.5,
+            "64 -> 512 ranks grew cost {t_small:.2e} -> {t_big:.2e}"
+        );
+    }
+
+    /// The halo cost grows monotonically-ish with halo width.
+    #[test]
+    fn cost_grows_with_words() {
+        let m = bluegene_p();
+        let grid = Grid2D::new(8, 8);
+        let t1 = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(grid, 8, HaloProtocol::IrecvIsend));
+        let t2 = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &cfg(grid, 32_768, HaloProtocol::IrecvIsend));
+        assert!(t2 > t1 * 3.0, "{t1:.2e} -> {t2:.2e}");
+        assert!(t1 * 1e6 > 1.0, "even tiny halos cost > 1 us: {:.2}", t1 * 1e6);
+    }
+}

@@ -1,0 +1,234 @@
+//! Complex radix-2 FFT.
+//!
+//! Iterative Cooley–Tukey with bit-reversal permutation, the algorithm of
+//! HPCC's stock (non-vendor) FFT kernel — the paper explicitly used the
+//! stock implementation rather than ESSL/ACML's, and so do we.
+
+/// A complex number over `f64`. Minimal on purpose (no external crates);
+/// the inherent `add`/`sub`/`mul` names mirror the operators they stand
+/// in for.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // inherent add/sub/mul by design
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// 0 + 0i.
+    pub fn zero() -> Self {
+        Complex::default()
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+}
+
+fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half].mul(w);
+                chunk[i] = u.add(v);
+                chunk[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+}
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft_forward(data: &mut [Complex]) {
+    fft_in_place(data, false);
+}
+
+/// In-place inverse FFT (normalized by 1/n).
+pub fn fft_inverse(data: &mut [Complex]) {
+    fft_in_place(data, true);
+}
+
+/// O(n²) reference DFT — the oracle for tests.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::cis(ang)));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.sub(*y).norm_sq().sqrt()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 16, 64, 256] {
+            let sig = random_signal(n, n as u64);
+            let expect = dft_naive(&sig);
+            let mut got = sig.clone();
+            fft_forward(&mut got);
+            assert!(max_err(&got, &expect) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let sig = random_signal(1024, 9);
+        let mut work = sig.clone();
+        fft_forward(&mut work);
+        fft_inverse(&mut work);
+        assert!(max_err(&work, &sig) < 1e-10);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut sig = vec![Complex::zero(); 128];
+        sig[0] = Complex::new(1.0, 0.0);
+        fft_forward(&mut sig);
+        for x in &sig {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let sig = random_signal(512, 3);
+        let time_energy: f64 = sig.iter().map(|x| x.norm_sq()).sum();
+        let mut spec = sig.clone();
+        fft_forward(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|x| x.norm_sq()).sum::<f64>() / 512.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let a = random_signal(64, 4);
+        let b = random_signal(64, 5);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum.clone();
+        fft_forward(&mut fa);
+        fft_forward(&mut fb);
+        fft_forward(&mut fsum);
+        let expect: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| x.add(*y)).collect();
+        assert!(max_err(&fsum, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut empty: Vec<Complex> = vec![];
+        fft_forward(&mut empty);
+        let mut one = vec![Complex::new(3.0, -2.0)];
+        fft_forward(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut sig = random_signal(12, 1);
+        fft_forward(&mut sig);
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let mut sig: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64))
+            .collect();
+        fft_forward(&mut sig);
+        for (i, x) in sig.iter().enumerate() {
+            let mag = x.norm_sq().sqrt();
+            if i == k {
+                assert!((mag - n as f64).abs() < 1e-9);
+            } else {
+                assert!(mag < 1e-9, "leak at bin {i}: {mag}");
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Static machine descriptions — the contents of the paper's Table 1 plus
+//! the power parameters needed for Table 3.
+//!
+//! Everything here is plain data; behaviour lives in [`crate::node_model`]
+//! and in the `hpcsim-net` / `hpcsim-power` crates.
+
+use hpcsim_engine::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the studied systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineId {
+    /// IBM BlueGene/L (the predecessor; appears in Fig 7c and Fig 8).
+    BgL,
+    /// IBM BlueGene/P — the paper's subject.
+    BgP,
+    /// Cray XT3 (dual-core Opteron, SeaStar).
+    Xt3,
+    /// Cray XT4 dual-core (SeaStar2, DDR2-667).
+    Xt4Dc,
+    /// Cray XT4 quad-core Barcelona (SeaStar2, DDR2-800).
+    Xt4Qc,
+}
+
+impl MachineId {
+    /// Short display label used in tables and figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineId::BgL => "BG/L",
+            MachineId::BgP => "BG/P",
+            MachineId::Xt3 => "XT3",
+            MachineId::Xt4Dc => "XT4/DC",
+            MachineId::Xt4Qc => "XT4/QC",
+        }
+    }
+
+    /// True for members of the BlueGene family (tree + barrier networks).
+    pub fn is_bluegene(self) -> bool {
+        matches!(self, MachineId::BgL | MachineId::BgP)
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// L1 cache coherence regime. BG/L's L1 was not coherent (software managed);
+/// BG/P made the node a conventional cache-coherent SMP, which is what
+/// enables its SMP/DUAL OpenMP modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheCoherence {
+    /// Software-managed coherence (BG/L).
+    Software,
+    /// Hardware coherence (everything else in the study).
+    Hardware,
+}
+
+/// The second cache level differs qualitatively between the families:
+/// BlueGene has a small stream-prefetch engine, the Opterons a real cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum L2Kind {
+    /// BlueGene "L2": a prefetch engine tracking N sequential streams.
+    /// Effective at hiding DRAM latency for streaming access, useless for
+    /// irregular access.
+    PrefetchEngine {
+        /// Number of concurrent sequential streams tracked.
+        streams: u32,
+    },
+    /// Conventional private L2 cache of the given capacity.
+    Cache {
+        /// Capacity in KiB.
+        kib: u64,
+    },
+}
+
+/// Per-core microarchitecture parameters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CoreArch {
+    /// Marketing/microarchitecture name.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Peak double-precision flops per cycle (FMA pipes × 2).
+    /// BG/P "Double Hummer": 4. Opteron Barcelona: 4. Older Opterons: 2.
+    pub flops_per_cycle: f64,
+    /// Private L1 data cache in KiB.
+    pub l1_data_kib: u64,
+    /// L1 cache line in bytes.
+    pub line_bytes: u64,
+    /// Second-level structure.
+    pub l2: L2Kind,
+    /// Maximum DRAM bandwidth one core can extract on a streaming kernel,
+    /// bytes/s. A slow in-order core (PPC450) cannot saturate the node's
+    /// memory system alone — which is why BG/P's STREAM declines little
+    /// from single-process to embarrassingly-parallel mode while the
+    /// Opteron's declines a lot (paper §II.A.1).
+    pub mem_bw_core: f64,
+    /// Efficiency multiplier for *irregular* application code (stencils
+    /// with branches, chemistry, force loops) relative to tuned kernels.
+    /// In-order cores (PPC450) lose more to dependency stalls than the
+    /// out-of-order Opteron — this is why the paper's application ratios
+    /// (XT4 3.6× on POP, ~3× on CAM) exceed the raw clock ratio of 2.47×.
+    pub irregular_eff: f64,
+}
+
+impl CoreArch {
+    /// Peak double-precision flop rate of one core.
+    pub fn peak_flops(&self) -> f64 {
+        self.clock_hz * self.flops_per_cycle
+    }
+}
+
+/// Node memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Capacity per node in GiB.
+    pub capacity_gib: f64,
+    /// Peak DRAM bandwidth per node, bytes/s.
+    pub bw_bytes: f64,
+    /// Fraction of peak bandwidth a single streaming task achieves
+    /// (STREAM triad, one core).
+    pub stream_eff_single: f64,
+    /// Fraction of peak bandwidth achieved with all cores streaming
+    /// (STREAM triad, embarrassingly-parallel mode). The paper observes
+    /// BG/P declines *less* from single to loaded than the XT.
+    pub stream_eff_loaded: f64,
+    /// Main-memory access latency.
+    pub latency: SimTime,
+}
+
+impl MemorySpec {
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> f64 {
+        self.capacity_gib * (1u64 << 30) as f64
+    }
+}
+
+/// Network-interface characteristics stored with the machine (the network
+/// *model* lives in `hpcsim-net`; these are the Table 1 hardware numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Torus/mesh link bandwidth per direction, bytes/s
+    /// (BG/P: 425 MB/s; XT SeaStar2: ~3.8 GB/s sustained of 6.4 peak).
+    pub torus_link_bw: f64,
+    /// Number of torus links per node (6 for a 3-D torus).
+    pub torus_links: u32,
+    /// Injection bandwidth from a node into the torus, bytes/s
+    /// (Table 1 row "Torus Injection Bandwidth").
+    pub injection_bw: f64,
+    /// Dedicated collective-tree link bandwidth per direction, bytes/s
+    /// (`None` on machines without a tree network).
+    pub tree_bw: Option<f64>,
+    /// Whether a dedicated global barrier/interrupt network exists.
+    pub has_barrier_network: bool,
+    /// MPI send overhead (software, per message).
+    pub o_send: SimTime,
+    /// MPI receive overhead (software, per message).
+    pub o_recv: SimTime,
+    /// Per-hop router latency on the torus.
+    pub per_hop: SimTime,
+    /// Eager→rendezvous protocol switch point in bytes.
+    pub eager_threshold: u64,
+    /// Effective number of alternative routes the router can spread a
+    /// flow across (adaptive routing on BlueGene tori; 1.0 for the
+    /// deterministic SeaStar).
+    pub route_diversity: f64,
+}
+
+/// Per-component power-draw parameters, calibrated against the paper's
+/// Table 3 operating points (see `hpcsim-power` calibration tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Node baseline: SoC uncore / chipset / board, watts.
+    pub node_static_w: f64,
+    /// Per-core draw when idle/stalled, watts.
+    pub core_idle_w: f64,
+    /// Additional per-core draw at full utilization, watts.
+    pub core_dyn_w: f64,
+    /// Memory subsystem per node at typical activity, watts.
+    pub mem_w: f64,
+    /// NIC/router per node, watts.
+    pub nic_w: f64,
+    /// Per-rack overhead (fans, link cards, service nodes), watts.
+    pub rack_overhead_w: f64,
+    /// AC→DC conversion efficiency (0, 1].
+    pub psu_efficiency: f64,
+}
+
+/// Packaging: how many nodes share a rack (drives density and rack
+/// overhead amortization — 1024 for BG/P vs 96 for the XT4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packaging {
+    /// Compute nodes per rack.
+    pub nodes_per_rack: u32,
+    /// Compute-node to I/O-node ratio (64:1 on the studied BG/P racks).
+    pub compute_per_io_node: u32,
+}
+
+/// A complete machine description: one column of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineSpec {
+    /// Which system this is.
+    pub id: MachineId,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Per-core parameters.
+    pub core: CoreArch,
+    /// L1 coherence regime.
+    pub coherence: CacheCoherence,
+    /// Shared last-level cache in MiB (`None` when the per-core L2 is the
+    /// last level, as on XT3/XT4-DC).
+    pub l3_shared_mib: Option<f64>,
+    /// Memory system.
+    pub mem: MemorySpec,
+    /// Network endpoint hardware.
+    pub nic: NicSpec,
+    /// Packaging / density.
+    pub packaging: Packaging,
+    /// Power model parameters.
+    pub power: PowerSpec,
+}
+
+impl MachineSpec {
+    /// Peak double-precision flop rate per node (Table 1 row
+    /// "Peak Performance").
+    pub fn node_peak_flops(&self) -> f64 {
+        self.core.peak_flops() * self.cores_per_node as f64
+    }
+
+    /// Peak flop rate per core.
+    pub fn core_peak_flops(&self) -> f64 {
+        self.core.peak_flops()
+    }
+
+    /// Shared last-level cache in bytes (zero when absent).
+    pub fn l3_bytes(&self) -> f64 {
+        self.l3_shared_mib.map_or(0.0, |m| m * (1u64 << 20) as f64)
+    }
+
+    /// Total private cache per core in bytes (L1 + private L2 if a cache).
+    pub fn private_cache_bytes(&self) -> f64 {
+        let l1 = (self.core.l1_data_kib * 1024) as f64;
+        match self.core.l2 {
+            L2Kind::Cache { kib } => l1 + (kib * 1024) as f64,
+            L2Kind::PrefetchEngine { .. } => l1,
+        }
+    }
+
+    /// Cores per rack (the paper's density argument: 4096 on BG/P vs 384
+    /// on XT4/QC).
+    pub fn cores_per_rack(&self) -> u32 {
+        self.packaging.nodes_per_rack * self.cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_core() -> CoreArch {
+        CoreArch {
+            name: "toy",
+            clock_hz: 1e9,
+            flops_per_cycle: 2.0,
+            l1_data_kib: 32,
+            line_bytes: 64,
+            l2: L2Kind::Cache { kib: 512 },
+            mem_bw_core: 4e9,
+            irregular_eff: 1.0,
+        }
+    }
+
+    #[test]
+    fn core_peak_is_clock_times_width() {
+        assert_eq!(toy_core().peak_flops(), 2e9);
+    }
+
+    #[test]
+    fn private_cache_accounts_for_l2_kind() {
+        let mut spec = MachineSpec {
+            id: MachineId::Xt3,
+            cores_per_node: 2,
+            core: toy_core(),
+            coherence: CacheCoherence::Hardware,
+            l3_shared_mib: None,
+            mem: MemorySpec {
+                capacity_gib: 4.0,
+                bw_bytes: 6.4e9,
+                stream_eff_single: 0.5,
+                stream_eff_loaded: 0.6,
+                latency: SimTime::from_ns(100),
+            },
+            nic: NicSpec {
+                torus_link_bw: 1e9,
+                torus_links: 6,
+                injection_bw: 2e9,
+                tree_bw: None,
+                has_barrier_network: false,
+                o_send: SimTime::from_us(1),
+                o_recv: SimTime::from_us(1),
+                per_hop: SimTime::from_ns(50),
+                eager_threshold: 1024,
+                route_diversity: 1.0,
+            },
+            packaging: Packaging { nodes_per_rack: 96, compute_per_io_node: 64 },
+            power: PowerSpec {
+                node_static_w: 10.0,
+                core_idle_w: 2.0,
+                core_dyn_w: 5.0,
+                mem_w: 5.0,
+                nic_w: 5.0,
+                rack_overhead_w: 1000.0,
+                psu_efficiency: 0.9,
+            },
+        };
+        assert_eq!(spec.private_cache_bytes(), (32 + 512) as f64 * 1024.0);
+        spec.core.l2 = L2Kind::PrefetchEngine { streams: 14 };
+        assert_eq!(spec.private_cache_bytes(), 32.0 * 1024.0);
+        assert_eq!(spec.node_peak_flops(), 4e9);
+        assert_eq!(spec.l3_bytes(), 0.0);
+        assert_eq!(spec.cores_per_rack(), 192);
+    }
+
+    #[test]
+    fn memory_capacity_is_binary_gib() {
+        let mem = MemorySpec {
+            capacity_gib: 2.0,
+            bw_bytes: 13.6e9,
+            stream_eff_single: 0.8,
+            stream_eff_loaded: 0.8,
+            latency: SimTime::from_ns(80),
+        };
+        assert_eq!(mem.capacity_bytes(), 2.0 * 1073741824.0);
+    }
+
+    #[test]
+    fn machine_id_labels() {
+        assert_eq!(MachineId::BgP.label(), "BG/P");
+        assert_eq!(MachineId::Xt4Qc.to_string(), "XT4/QC");
+        assert!(MachineId::BgL.is_bluegene());
+        assert!(!MachineId::Xt3.is_bluegene());
+    }
+}

@@ -1,0 +1,114 @@
+//! Execution modes.
+//!
+//! BG/P runs compute nodes in one of three modes (§I.A of the paper):
+//! SMP (one MPI task, up to 4 threads), DUAL (two tasks, up to 2 threads
+//! each — new in BG/P), and VN (four single-threaded tasks). The Cray XT
+//! has the analogous SN (one task/node) and VN (one task/core) modes.
+//! The mode determines how node resources — cores, memory capacity, shared
+//! L3, memory bandwidth, and the NIC — are partitioned among MPI tasks.
+
+use serde::{Deserialize, Serialize};
+
+/// How MPI tasks are laid onto a compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One MPI task per node ("SMP" on BlueGene, "SN" on the XT); the task
+    /// may spawn threads onto the remaining cores.
+    Smp,
+    /// Two MPI tasks per node, resources split evenly (BG/P "DUAL" mode).
+    Dual,
+    /// One MPI task per core ("VN" — virtual node mode).
+    Vn,
+}
+
+impl ExecMode {
+    /// MPI tasks per node for a machine with `cores_per_node` cores.
+    /// DUAL on a 2-core machine coincides with VN.
+    pub fn tasks_per_node(self, cores_per_node: u32) -> u32 {
+        match self {
+            ExecMode::Smp => 1,
+            ExecMode::Dual => 2.min(cores_per_node),
+            ExecMode::Vn => cores_per_node,
+        }
+    }
+
+    /// Maximum threads each MPI task may use.
+    pub fn max_threads_per_task(self, cores_per_node: u32) -> u32 {
+        (cores_per_node / self.tasks_per_node(cores_per_node)).max(1)
+    }
+
+    /// Memory capacity available to each task, bytes.
+    pub fn mem_per_task(self, node_mem_bytes: f64, cores_per_node: u32) -> f64 {
+        node_mem_bytes / self.tasks_per_node(cores_per_node) as f64
+    }
+
+    /// The mode's name in the paper's terminology for the given family.
+    pub fn label(self, is_bluegene: bool) -> &'static str {
+        match (self, is_bluegene) {
+            (ExecMode::Smp, true) => "SMP",
+            (ExecMode::Smp, false) => "SN",
+            (ExecMode::Dual, _) => "DUAL",
+            (ExecMode::Vn, _) => "VN",
+        }
+    }
+
+    /// All modes in increasing tasks-per-node order.
+    pub fn all() -> [ExecMode; 3] {
+        [ExecMode::Smp, ExecMode::Dual, ExecMode::Vn]
+    }
+
+    /// Number of nodes needed to host `ntasks` MPI tasks.
+    pub fn nodes_for_tasks(self, ntasks: u64, cores_per_node: u32) -> u64 {
+        let tpn = self.tasks_per_node(cores_per_node) as u64;
+        ntasks.div_ceil(tpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_per_node_bgp() {
+        assert_eq!(ExecMode::Smp.tasks_per_node(4), 1);
+        assert_eq!(ExecMode::Dual.tasks_per_node(4), 2);
+        assert_eq!(ExecMode::Vn.tasks_per_node(4), 4);
+    }
+
+    #[test]
+    fn dual_degenerates_on_two_core_nodes() {
+        assert_eq!(ExecMode::Dual.tasks_per_node(2), 2);
+        assert_eq!(ExecMode::Vn.tasks_per_node(2), 2);
+    }
+
+    #[test]
+    fn threads_per_task() {
+        assert_eq!(ExecMode::Smp.max_threads_per_task(4), 4);
+        assert_eq!(ExecMode::Dual.max_threads_per_task(4), 2);
+        assert_eq!(ExecMode::Vn.max_threads_per_task(4), 1);
+        assert_eq!(ExecMode::Smp.max_threads_per_task(2), 2);
+    }
+
+    #[test]
+    fn memory_split() {
+        let two_gib = 2.0 * (1u64 << 30) as f64;
+        assert_eq!(ExecMode::Vn.mem_per_task(two_gib, 4), two_gib / 4.0);
+        assert_eq!(ExecMode::Smp.mem_per_task(two_gib, 4), two_gib);
+    }
+
+    #[test]
+    fn labels_follow_family_convention() {
+        assert_eq!(ExecMode::Smp.label(true), "SMP");
+        assert_eq!(ExecMode::Smp.label(false), "SN");
+        assert_eq!(ExecMode::Vn.label(true), "VN");
+        assert_eq!(ExecMode::Vn.label(false), "VN");
+    }
+
+    #[test]
+    fn nodes_for_tasks_rounds_up() {
+        assert_eq!(ExecMode::Vn.nodes_for_tasks(8192, 4), 2048);
+        assert_eq!(ExecMode::Smp.nodes_for_tasks(8192, 4), 8192);
+        assert_eq!(ExecMode::Dual.nodes_for_tasks(5, 4), 3);
+        assert_eq!(ExecMode::Vn.nodes_for_tasks(1, 4), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! The five studied machines, parameterized per the paper's Table 1, and
+//! the two BG/P installations used for the experiments.
+//!
+//! A note on sources: the paper's Table 1 lists the BG/P tree bandwidth as
+//! 1700 MB/s (vs 700 MB/s on BG/L) and the torus injection bandwidth as
+//! bidirectional aggregates (5.1 GB/s for BG/P = 6 links × 425 MB/s × 2
+//! directions). The XT4/QC node peak is listed as 16.8 GF/s in Table 1 but
+//! Table 3 reports 260.2 TF peak for 30,976 cores = 8.4 GF/core = 33.6
+//! GF/node, consistent with the text ("both … can produce four floating
+//! point results per cycle") — we follow Table 3 / the text (4 flops/cycle
+//! at 2.1 GHz) since the power analysis depends on it.
+
+use crate::arch::*;
+use hpcsim_engine::SimTime;
+use serde::Serialize;
+
+/// Build the machine description for `id`.
+pub fn machine(id: MachineId) -> MachineSpec {
+    match id {
+        MachineId::BgL => bluegene_l(),
+        MachineId::BgP => bluegene_p(),
+        MachineId::Xt3 => xt3(),
+        MachineId::Xt4Dc => xt4_dc(),
+        MachineId::Xt4Qc => xt4_qc(),
+    }
+}
+
+/// All five machines in Table 1 order.
+pub fn all_machines() -> Vec<MachineSpec> {
+    [MachineId::BgL, MachineId::BgP, MachineId::Xt3, MachineId::Xt4Dc, MachineId::Xt4Qc]
+        .into_iter()
+        .map(machine)
+        .collect()
+}
+
+/// IBM BlueGene/L: 2× PPC440 @ 700 MHz, software-coherent L1, 4 MiB L3.
+pub fn bluegene_l() -> MachineSpec {
+    MachineSpec {
+        id: MachineId::BgL,
+        cores_per_node: 2,
+        core: CoreArch {
+            name: "PowerPC 440 + Double Hummer",
+            clock_hz: 700e6,
+            flops_per_cycle: 4.0,
+            l1_data_kib: 32,
+            line_bytes: 32,
+            l2: L2Kind::PrefetchEngine { streams: 14 },
+            mem_bw_core: 2.2e9,
+            irregular_eff: 0.40,
+        },
+        coherence: CacheCoherence::Software,
+        l3_shared_mib: Some(4.0),
+        mem: MemorySpec {
+            capacity_gib: 1.0, // 0.5–1 GB configurations; we model 1 GB
+            bw_bytes: 5.6e9,
+            stream_eff_single: 0.80,
+            stream_eff_loaded: 0.78,
+            latency: SimTime::from_ns(90),
+        },
+        nic: NicSpec {
+            torus_link_bw: 175e6,
+            torus_links: 6,
+            injection_bw: 2.1e9, // Table 1 (bidirectional aggregate)
+            tree_bw: Some(700e6),
+            has_barrier_network: true,
+            o_send: SimTime::from_us_f64(1.6),
+            o_recv: SimTime::from_us_f64(1.6),
+            per_hop: SimTime::from_ns(98),
+            eager_threshold: 1024,
+            route_diversity: 2.0,
+        },
+        packaging: Packaging { nodes_per_rack: 1024, compute_per_io_node: 64 },
+        power: PowerSpec {
+            node_static_w: 5.0,
+            core_idle_w: 1.0,
+            core_dyn_w: 2.2,
+            mem_w: 3.0,
+            nic_w: 1.5,
+            rack_overhead_w: 1200.0,
+            psu_efficiency: 0.92,
+        },
+    }
+}
+
+/// IBM BlueGene/P: 4× PPC450 @ 850 MHz, hardware-coherent, 8 MiB L3,
+/// 13.6 GF/s and 13.6 GB/s per node — the paper's subject.
+pub fn bluegene_p() -> MachineSpec {
+    MachineSpec {
+        id: MachineId::BgP,
+        cores_per_node: 4,
+        core: CoreArch {
+            name: "PowerPC 450 + Double Hummer",
+            clock_hz: 850e6,
+            flops_per_cycle: 4.0,
+            l1_data_kib: 32,
+            line_bytes: 32,
+            l2: L2Kind::PrefetchEngine { streams: 14 },
+            mem_bw_core: 3.0e9,
+            irregular_eff: 0.42,
+        },
+        coherence: CacheCoherence::Hardware,
+        l3_shared_mib: Some(8.0),
+        mem: MemorySpec {
+            capacity_gib: 2.0,
+            bw_bytes: 13.6e9,
+            stream_eff_single: 0.82,
+            stream_eff_loaded: 0.78,
+            latency: SimTime::from_ns(85),
+        },
+        nic: NicSpec {
+            torus_link_bw: 425e6,
+            torus_links: 6,
+            injection_bw: 5.1e9, // Table 1 (bidirectional aggregate)
+            tree_bw: Some(1700e6),
+            has_barrier_network: true,
+            o_send: SimTime::from_us_f64(1.1),
+            o_recv: SimTime::from_us_f64(1.1),
+            per_hop: SimTime::from_ns(64),
+            eager_threshold: 1200,
+            route_diversity: 3.0,
+        },
+        packaging: Packaging { nodes_per_rack: 1024, compute_per_io_node: 64 },
+        power: PowerSpec {
+            node_static_w: 7.0,
+            core_idle_w: 1.2,
+            core_dyn_w: 2.3,
+            mem_w: 5.0,
+            nic_w: 2.0,
+            rack_overhead_w: 1500.0,
+            psu_efficiency: 0.93,
+        },
+    }
+}
+
+/// Cray XT3: 2× Opteron @ 2.6 GHz (2 flops/cycle), SeaStar, DDR-400.
+pub fn xt3() -> MachineSpec {
+    MachineSpec {
+        id: MachineId::Xt3,
+        cores_per_node: 2,
+        core: CoreArch {
+            name: "Opteron (dual-core, K8)",
+            clock_hz: 2.6e9,
+            flops_per_cycle: 2.0,
+            l1_data_kib: 64,
+            line_bytes: 64,
+            l2: L2Kind::Cache { kib: 1024 },
+            mem_bw_core: 4.4e9,
+            irregular_eff: 1.0,
+        },
+        coherence: CacheCoherence::Hardware,
+        l3_shared_mib: None,
+        mem: MemorySpec {
+            capacity_gib: 4.0,
+            bw_bytes: 6.4e9,
+            stream_eff_single: 0.68,
+            stream_eff_loaded: 0.60,
+            latency: SimTime::from_ns(95),
+        },
+        nic: NicSpec {
+            torus_link_bw: 2.2e9, // SeaStar sustained per direction
+            torus_links: 6,
+            injection_bw: 6.4e9, // HyperTransport to NIC (Table 1)
+            tree_bw: None,
+            has_barrier_network: false,
+            o_send: SimTime::from_us_f64(2.4),
+            o_recv: SimTime::from_us_f64(2.4),
+            per_hop: SimTime::from_ns(290),
+            eager_threshold: 16 * 1024,
+            route_diversity: 1.0,
+        },
+        packaging: Packaging { nodes_per_rack: 96, compute_per_io_node: 64 },
+        power: PowerSpec {
+            node_static_w: 25.0,
+            core_idle_w: 10.0,
+            core_dyn_w: 18.0,
+            mem_w: 18.0,
+            nic_w: 12.0,
+            rack_overhead_w: 3500.0,
+            psu_efficiency: 0.85,
+        },
+    }
+}
+
+/// Cray XT4 dual-core: XT3 cores with SeaStar2 and DDR2-667.
+pub fn xt4_dc() -> MachineSpec {
+    let mut m = xt3();
+    m.id = MachineId::Xt4Dc;
+    m.core.name = "Opteron (dual-core, K8, XT4)";
+    m.core.mem_bw_core = 5.2e9;
+    m.mem.bw_bytes = 10.6e9;
+    m.mem.stream_eff_single = 0.62;
+    m.mem.stream_eff_loaded = 0.55;
+    m.mem.latency = SimTime::from_ns(90);
+    m.nic.torus_link_bw = 3.8e9; // SeaStar2 sustained per direction
+    m.nic.per_hop = SimTime::from_ns(250);
+    // The paper's dual-core XT4 data were (partly) collected under the
+    // Catamount lightweight kernel, whose MPI latency was well below
+    // CNL's — reflected in lower per-message overheads than XT3/QC.
+    m.nic.o_send = SimTime::from_us_f64(1.7);
+    m.nic.o_recv = SimTime::from_us_f64(1.7);
+    m
+}
+
+/// Cray XT4 quad-core: 4× Opteron "Barcelona" @ 2.1 GHz (4 flops/cycle),
+/// 512 KiB private L2 + 2 MiB shared L3, DDR2-800, SeaStar2.
+pub fn xt4_qc() -> MachineSpec {
+    MachineSpec {
+        id: MachineId::Xt4Qc,
+        cores_per_node: 4,
+        core: CoreArch {
+            name: "Opteron (quad-core, Barcelona)",
+            clock_hz: 2.1e9,
+            flops_per_cycle: 4.0,
+            l1_data_kib: 64,
+            line_bytes: 64,
+            l2: L2Kind::Cache { kib: 512 },
+            mem_bw_core: 5.5e9,
+            irregular_eff: 0.55,
+        },
+        coherence: CacheCoherence::Hardware,
+        l3_shared_mib: Some(2.0),
+        mem: MemorySpec {
+            capacity_gib: 8.0,
+            bw_bytes: 12.8e9,
+            stream_eff_single: 0.55,
+            stream_eff_loaded: 0.62,
+            latency: SimTime::from_ns(105),
+        },
+        nic: NicSpec {
+            torus_link_bw: 3.8e9,
+            torus_links: 6,
+            injection_bw: 6.4e9,
+            tree_bw: None,
+            has_barrier_network: false,
+            o_send: SimTime::from_us_f64(2.0),
+            o_recv: SimTime::from_us_f64(2.0),
+            per_hop: SimTime::from_ns(250),
+            eager_threshold: 16 * 1024,
+            route_diversity: 1.0,
+        },
+        packaging: Packaging { nodes_per_rack: 96, compute_per_io_node: 64 },
+        power: PowerSpec {
+            node_static_w: 30.0,
+            core_idle_w: 5.0,
+            core_dyn_w: 15.0,
+            mem_w: 25.0,
+            nic_w: 12.0,
+            rack_overhead_w: 3500.0,
+            psu_efficiency: 0.87,
+        },
+    }
+}
+
+/// A named installation of a machine: racks, node count, and site.
+/// Captures "Eugene" (ORNL, 2 racks), "Intrepid" (ANL, 40 racks) and the
+/// ORNL XT "Jaguar" partitions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Installation {
+    /// Site/system name.
+    pub name: &'static str,
+    /// The machine type installed.
+    pub machine: MachineSpec,
+    /// Number of racks.
+    pub racks: u32,
+}
+
+impl Installation {
+    /// ORNL "Eugene": 2 racks of BG/P, 2048 nodes, 8192 cores.
+    pub fn eugene() -> Self {
+        Installation { name: "Eugene (ORNL BG/P)", machine: bluegene_p(), racks: 2 }
+    }
+
+    /// ANL "Intrepid": 40 racks of BG/P.
+    pub fn intrepid() -> Self {
+        Installation { name: "Intrepid (ANL BG/P)", machine: bluegene_p(), racks: 40 }
+    }
+
+    /// ORNL "Jaguar" in its 2008 quad-core configuration (7,832 nodes /
+    /// 31,328 cores class; the paper's power table uses 30,976 cores).
+    pub fn jaguar_qc() -> Self {
+        Installation { name: "Jaguar (ORNL XT4/QC)", machine: xt4_qc(), racks: 84 }
+    }
+
+    /// Total compute nodes.
+    pub fn nodes(&self) -> u64 {
+        self.racks as u64 * self.machine.packaging.nodes_per_rack as u64
+    }
+
+    /// Total compute cores.
+    pub fn cores(&self) -> u64 {
+        self.nodes() * self.machine.cores_per_node as u64
+    }
+
+    /// Aggregate peak flop rate.
+    pub fn peak_flops(&self) -> f64 {
+        self.nodes() as f64 * self.machine.node_peak_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 row: peak performance per node.
+    #[test]
+    fn node_peaks_match_table1() {
+        assert!((bluegene_l().node_peak_flops() - 5.6e9).abs() < 1e6);
+        assert!((bluegene_p().node_peak_flops() - 13.6e9).abs() < 1e6);
+        assert!((xt3().node_peak_flops() - 10.4e9).abs() < 1e6);
+        assert!((xt4_dc().node_peak_flops() - 10.4e9).abs() < 1e6);
+        // Table 3-consistent value (see module docs re the 16.8 discrepancy).
+        assert!((xt4_qc().node_peak_flops() - 33.6e9).abs() < 1e6);
+    }
+
+    /// Paper §I.A: 3.4 GF/s per core, 13.6 GF/s per BG/P compute node.
+    #[test]
+    fn bgp_core_peak_is_3_4_gf() {
+        assert!((bluegene_p().core_peak_flops() - 3.4e9).abs() < 1e3);
+    }
+
+    /// Table 1 row: main memory bandwidth.
+    #[test]
+    fn memory_bandwidths_match_table1() {
+        assert_eq!(bluegene_l().mem.bw_bytes, 5.6e9);
+        assert_eq!(bluegene_p().mem.bw_bytes, 13.6e9);
+        assert_eq!(xt3().mem.bw_bytes, 6.4e9);
+        assert_eq!(xt4_dc().mem.bw_bytes, 10.6e9);
+        assert_eq!(xt4_qc().mem.bw_bytes, 12.8e9);
+    }
+
+    /// §I.A density claim: 4096 cores/rack on BG/P, 192 on XT3, 384 on XT4/QC.
+    #[test]
+    fn rack_density_matches_prose() {
+        assert_eq!(bluegene_p().cores_per_rack(), 4096);
+        assert_eq!(xt3().cores_per_rack(), 192);
+        assert_eq!(xt4_qc().cores_per_rack(), 384);
+    }
+
+    /// §I.A: torus link 425 MB/s per direction, 5.1 GB/s bidirectional/node.
+    #[test]
+    fn bgp_torus_bandwidth() {
+        let m = bluegene_p();
+        assert_eq!(m.nic.torus_link_bw, 425e6);
+        let bidir = m.nic.torus_link_bw * m.nic.torus_links as f64 * 2.0;
+        assert!((bidir - 5.1e9).abs() < 1e6);
+        assert_eq!(m.nic.injection_bw, 5.1e9);
+    }
+
+    /// Tree network exists only on the BlueGene family.
+    #[test]
+    fn tree_network_presence() {
+        assert!(bluegene_l().nic.tree_bw.is_some());
+        assert!(bluegene_p().nic.tree_bw.is_some());
+        assert!(xt3().nic.tree_bw.is_none());
+        assert!(xt4_qc().nic.tree_bw.is_none());
+        assert!(bluegene_p().nic.has_barrier_network);
+        assert!(!xt4_qc().nic.has_barrier_network);
+    }
+
+    /// Coherence column: only BG/L is software-coherent.
+    #[test]
+    fn coherence_column() {
+        assert_eq!(bluegene_l().coherence, CacheCoherence::Software);
+        for m in [bluegene_p(), xt3(), xt4_dc(), xt4_qc()] {
+            assert_eq!(m.coherence, CacheCoherence::Hardware);
+        }
+    }
+
+    /// BG/P's low-latency design: smaller per-message overhead and per-hop
+    /// cost than any XT — the paper's "BG/P strength is low latency".
+    #[test]
+    fn bgp_has_lowest_latency_parameters() {
+        let bgp = bluegene_p();
+        for xt in [xt3(), xt4_dc(), xt4_qc()] {
+            assert!(bgp.nic.o_send < xt.nic.o_send);
+            assert!(bgp.nic.per_hop < xt.nic.per_hop);
+            // and the converse: XT links are fatter (bandwidth strength)
+            assert!(xt.nic.torus_link_bw > bgp.nic.torus_link_bw);
+        }
+    }
+
+    /// Installations: Eugene = 2048 nodes / 8192 cores; Intrepid 40 racks.
+    #[test]
+    fn installations_match_paper() {
+        let e = Installation::eugene();
+        assert_eq!(e.nodes(), 2048);
+        assert_eq!(e.cores(), 8192);
+        let i = Installation::intrepid();
+        assert_eq!(i.cores(), 163_840);
+        // 72-rack BG/P would be ~1 PF/s (paper §I.A)
+        let pf = Installation { name: "petaflop", machine: bluegene_p(), racks: 72 };
+        assert!((pf.peak_flops() - 1.002e15).abs() < 1e13);
+    }
+
+    #[test]
+    fn all_machines_returns_five_unique() {
+        let ms = all_machines();
+        assert_eq!(ms.len(), 5);
+        let mut ids: Vec<_> = ms.iter().map(|m| m.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    /// Memory per node column (GB): 1 / 2 / 4 / 4 / 8.
+    #[test]
+    fn memory_capacity_column() {
+        assert_eq!(bluegene_l().mem.capacity_gib, 1.0);
+        assert_eq!(bluegene_p().mem.capacity_gib, 2.0);
+        assert_eq!(xt3().mem.capacity_gib, 4.0);
+        assert_eq!(xt4_dc().mem.capacity_gib, 4.0);
+        assert_eq!(xt4_qc().mem.capacity_gib, 8.0);
+    }
+}

@@ -1,0 +1,616 @@
+//! Event-driven trace replay.
+//!
+//! Every rank's trace is replayed against the machine, layout and network
+//! models. Ranks advance greedily until they block (on an unmatched
+//! receive or a collective); message arrivals and collective completions
+//! are events that unblock them. The event queue's deterministic FIFO
+//! tie-break makes whole runs bit-reproducible.
+//!
+//! Protocol semantics implemented here (and the observable effects they
+//! produce):
+//!
+//! * **eager** sends (≤ threshold) complete locally at injection; if the
+//!   message lands before its receive is posted, matching pays an
+//!   unexpected-message copy — so receive-first code beats send-first
+//!   code for mid-sized halos (Fig 2a/b).
+//! * **rendezvous** sends add a handshake round trip and complete only
+//!   when the payload has drained — so `MPI_Sendrecv`'s serialization of
+//!   exchange directions costs real time at large sizes.
+//! * **collectives** complete `model_duration` after the *last* member
+//!   arrives; early arrivals wait — load imbalance becomes collective
+//!   time, exactly the effect the paper dissects with POP's timing
+//!   barrier (Fig 4b).
+
+use crate::layout::RankLayout;
+use crate::ops::{Op, Req};
+use crate::program::{Mpi, Program};
+use crate::result::SimResult;
+use hpcsim_engine::{EventQueue, SimTime};
+use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
+use hpcsim_net::{CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel};
+use std::collections::{HashMap, VecDeque};
+
+use crate::ops::CommId;
+
+/// Simulation configuration: machine + mode + layout.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine to simulate.
+    pub machine: MachineSpec,
+    /// Execution mode (drives resource sharing and layout density).
+    pub mode: ExecMode,
+    /// Default OpenMP threads per task for `compute` blocks.
+    pub threads: u32,
+    /// Rank placement.
+    pub layout: RankLayout,
+}
+
+impl SimConfig {
+    /// Default configuration: `ranks` tasks on `machine` in `mode`, with
+    /// the family's default mapping and compact placement.
+    pub fn new(machine: MachineSpec, ranks: usize, mode: ExecMode) -> Self {
+        let layout = RankLayout::default_for(&machine, ranks, mode);
+        SimConfig { machine, mode, threads: 1, layout }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.layout.ranks()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Blocked {
+    None,
+    OnReq(Req),
+    OnCollective,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    tag: u32,
+    bytes: u64,
+    flow: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Resume(usize),
+    Arrive { msg: usize },
+}
+
+#[derive(Debug, Default)]
+struct CollInstance {
+    arrived: usize,
+    latest: SimTime,
+    op: Option<CollectiveOp>,
+    done: Option<SimTime>,
+}
+
+/// The replay engine. Construct, optionally register sub-communicators,
+/// then [`TraceSim::run`] a program.
+pub struct TraceSim {
+    cfg: SimConfig,
+    node_model: NodeModel,
+    p2p: P2pModel,
+    tracker: FlowTracker,
+    comms: Vec<Vec<usize>>,
+    coll_models: Vec<CollectiveModel>,
+}
+
+impl TraceSim {
+    /// Build an engine for `cfg`. `CommId::WORLD` is pre-registered.
+    pub fn new(cfg: SimConfig) -> Self {
+        let node_model = NodeModel::new(cfg.machine.clone());
+        let p2p = P2pModel::new(&cfg.machine, cfg.layout.torus).with_ambient(cfg.layout.ambient_flows);
+        let tracker = FlowTracker::new(&cfg.layout.torus);
+        let world: Vec<usize> = (0..cfg.ranks()).collect();
+        let world_model = CollectiveModel::with_hop_scale(
+            &cfg.machine,
+            world.len(),
+            cfg.layout.tasks_per_node,
+            cfg.layout.hop_scale,
+        );
+        TraceSim {
+            cfg,
+            node_model,
+            p2p,
+            tracker,
+            comms: vec![world],
+            coll_models: vec![world_model],
+        }
+    }
+
+    /// Register a sub-communicator; returns its id. Members are world
+    /// ranks and must be distinct.
+    pub fn register_comm(&mut self, members: Vec<usize>) -> CommId {
+        assert!(!members.is_empty());
+        debug_assert!(members.iter().all(|&r| r < self.cfg.ranks()));
+        let model = CollectiveModel::with_hop_scale(
+            &self.cfg.machine,
+            members.len(),
+            self.cfg.layout.tasks_per_node,
+            self.cfg.layout.hop_scale,
+        );
+        self.comms.push(members);
+        self.coll_models.push(model);
+        CommId((self.comms.len() - 1) as u32)
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Generate all rank traces for `prog` and replay them.
+    pub fn run<P: Program + ?Sized>(&mut self, prog: &P) -> SimResult {
+        let n = self.cfg.ranks();
+        let traces: Vec<Vec<Op>> = (0..n)
+            .map(|r| {
+                let mut mpi = Mpi::new(r, n, self.cfg.threads);
+                prog.run(&mut mpi);
+                mpi.into_ops()
+            })
+            .collect();
+        self.replay(traces)
+    }
+
+    /// Replay pre-built traces (one per rank).
+    pub fn replay(&mut self, traces: Vec<Vec<Op>>) -> SimResult {
+        let n = traces.len();
+        assert_eq!(n, self.cfg.ranks(), "one trace per rank required");
+        let eager_threshold = self.cfg.machine.nic.eager_threshold;
+        let o_send = self.cfg.machine.nic.o_send;
+        let o_recv = self.cfg.machine.nic.o_recv;
+        // unexpected-message copy rate: payload memcpy through memory
+        let copy_bw = self.cfg.machine.mem.bw_bytes / 4.0;
+
+        let mut clock = vec![SimTime::ZERO; n];
+        let mut pc = vec![0usize; n];
+        let mut blocked = vec![Blocked::None; n];
+        let mut finished = vec![false; n];
+        let mut busy = vec![SimTime::ZERO; n];
+        let mut finish = vec![SimTime::ZERO; n];
+        let mut marks: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); n];
+        let mut req_done: Vec<Vec<Option<SimTime>>> = vec![Vec::new(); n];
+        let mut arrived: HashMap<(usize, usize, u32), VecDeque<usize>> = HashMap::new();
+        let mut posted: HashMap<(usize, usize, u32), VecDeque<(usize, Req)>> = HashMap::new();
+        let mut msgs: Vec<Msg> = Vec::new();
+        let mut flows: Vec<Option<FlowHandle>> = Vec::new();
+        let mut coll_seq: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        let mut coll_state: HashMap<(u32, u64), CollInstance> = HashMap::new();
+        let mut coll_current: Vec<Option<(u32, u64)>> = vec![None; n];
+        let mut total_bytes = 0u64;
+        let mut total_msgs = 0u64;
+
+        let mut events: EventQueue<Ev> = EventQueue::with_capacity(2 * n);
+        for r in 0..n {
+            events.push(SimTime::ZERO, Ev::Resume(r));
+        }
+
+        fn ensure_req(v: &mut Vec<Option<SimTime>>, r: Req) {
+            if v.len() <= r.0 as usize {
+                v.resize(r.0 as usize + 1, None);
+            }
+        }
+
+        while let Some(ev) = events.pop() {
+            let now = ev.time;
+            match ev.payload {
+                Ev::Arrive { msg } => {
+                    let (dst, src, tag, flow) = {
+                        let m = &mut msgs[msg];
+                        (m.dst, m.src, m.tag, m.flow.take())
+                    };
+                    if let Some(f) = flow {
+                        if let Some(h) = flows[f].take() {
+                            self.tracker.release(h);
+                        }
+                    }
+                    let k = (dst, src, tag);
+                    let mut matched = false;
+                    if let Some(q) = posted.get_mut(&k) {
+                        if let Some((rank, req)) = q.pop_front() {
+                            ensure_req(&mut req_done[rank], req);
+                            req_done[rank][req.0 as usize] = Some(now);
+                            if blocked[rank] == Blocked::OnReq(req) {
+                                blocked[rank] = Blocked::None;
+                                events.push(now, Ev::Resume(rank));
+                            }
+                            matched = true;
+                        }
+                    }
+                    if !matched {
+                        arrived.entry(k).or_default().push_back(msg);
+                    }
+                }
+                Ev::Resume(r) => {
+                    if finished[r] {
+                        continue;
+                    }
+                    if clock[r] < now {
+                        clock[r] = now;
+                    }
+                    'advance: loop {
+                        if pc[r] >= traces[r].len() {
+                            finished[r] = true;
+                            finish[r] = clock[r];
+                            break 'advance;
+                        }
+                        let op = traces[r][pc[r]];
+                        match op {
+                            Op::Compute { work, threads } => {
+                                let t = self.node_model.time(&work, self.cfg.mode, threads);
+                                clock[r] += t;
+                                busy[r] += t;
+                                pc[r] += 1;
+                            }
+                            Op::Delay { time } => {
+                                clock[r] += time;
+                                busy[r] += time;
+                                pc[r] += 1;
+                            }
+                            Op::Isend { dst, tag, bytes, req } => {
+                                clock[r] += o_send;
+                                let inject = clock[r];
+                                let src_node = self.cfg.layout.node_of_rank[r];
+                                let dst_node = self.cfg.layout.node_of_rank[dst];
+                                let (wire, handle) = self.p2p.wire_time_contended(
+                                    &mut self.tracker,
+                                    src_node,
+                                    dst_node,
+                                    bytes,
+                                );
+                                let eager = bytes <= eager_threshold;
+                                let rdv_extra = if eager {
+                                    SimTime::ZERO
+                                } else {
+                                    self.p2p.wire_time(src_node, dst_node, 0) + o_send + o_recv
+                                };
+                                let arrive_t = inject + rdv_extra + wire;
+                                let flow_slot = handle.map(|h| {
+                                    flows.push(Some(h));
+                                    flows.len() - 1
+                                });
+                                let midx = msgs.len();
+                                msgs.push(Msg { src: r, dst, tag, bytes, flow: flow_slot });
+                                events.push(arrive_t, Ev::Arrive { msg: midx });
+                                ensure_req(&mut req_done[r], req);
+                                req_done[r][req.0 as usize] =
+                                    Some(if eager { inject } else { arrive_t });
+                                total_bytes += bytes;
+                                total_msgs += 1;
+                                pc[r] += 1;
+                            }
+                            Op::Irecv { src, tag, bytes, req } => {
+                                clock[r] += o_recv;
+                                ensure_req(&mut req_done[r], req);
+                                let k = (r, src, tag);
+                                let mut matched = false;
+                                if let Some(q) = arrived.get_mut(&k) {
+                                    if let Some(midx) = q.pop_front() {
+                                        // unexpected message: pay the copy
+                                        debug_assert_eq!(msgs[midx].bytes, bytes);
+                                        let copy = SimTime::from_secs(
+                                            msgs[midx].bytes as f64 / copy_bw,
+                                        );
+                                        req_done[r][req.0 as usize] = Some(clock[r] + copy);
+                                        matched = true;
+                                    }
+                                }
+                                if !matched {
+                                    posted.entry(k).or_default().push_back((r, req));
+                                }
+                                pc[r] += 1;
+                            }
+                            Op::Wait { req } => {
+                                ensure_req(&mut req_done[r], req);
+                                match req_done[r][req.0 as usize] {
+                                    Some(done) => {
+                                        if done > clock[r] {
+                                            clock[r] = done;
+                                        }
+                                        pc[r] += 1;
+                                    }
+                                    None => {
+                                        blocked[r] = Blocked::OnReq(req);
+                                        break 'advance;
+                                    }
+                                }
+                            }
+                            Op::Collective { comm, op } => {
+                                let cid = comm.0;
+                                if let Some(key) = coll_current[r] {
+                                    // re-execution after completion
+                                    let inst = coll_state.get(&key).expect("instance");
+                                    let done = inst.done.expect("resumed before completion");
+                                    coll_current[r] = None;
+                                    blocked[r] = Blocked::None;
+                                    if done > clock[r] {
+                                        clock[r] = done;
+                                    }
+                                    pc[r] += 1;
+                                } else {
+                                    let seq = coll_seq[r].entry(cid).or_insert(0);
+                                    let my_seq = *seq;
+                                    *seq += 1;
+                                    let key = (cid, my_seq);
+                                    let members = self.comms[cid as usize].len();
+                                    let inst = coll_state.entry(key).or_default();
+                                    if let Some(prev) = inst.op {
+                                        assert_eq!(
+                                            prev, op,
+                                            "rank {r}: collective mismatch on comm {cid}"
+                                        );
+                                    } else {
+                                        inst.op = Some(op);
+                                    }
+                                    inst.arrived += 1;
+                                    if clock[r] > inst.latest {
+                                        inst.latest = clock[r];
+                                    }
+                                    coll_current[r] = Some(key);
+                                    if inst.arrived == members {
+                                        let dur = self.coll_models[cid as usize].time(op);
+                                        let done = inst.latest + dur;
+                                        inst.done = Some(done);
+                                        for &m in &self.comms[cid as usize] {
+                                            events.push(done, Ev::Resume(m));
+                                        }
+                                    }
+                                    blocked[r] = Blocked::OnCollective;
+                                    break 'advance;
+                                }
+                            }
+                            Op::Mark { id } => {
+                                marks[r].push((id, clock[r]));
+                                pc[r] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let unfinished: Vec<usize> = (0..n).filter(|&r| !finished[r]).collect();
+        assert!(
+            unfinished.is_empty(),
+            "deadlock: {} ranks did not finish, e.g. rank {} at op {}",
+            unfinished.len(),
+            unfinished[0],
+            pc[unfinished[0]],
+        );
+
+        SimResult { finish, busy, bytes_sent: total_bytes, messages: total_msgs, marks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FnProgram;
+    use hpcsim_machine::registry::{bluegene_p, xt4_qc};
+    use hpcsim_machine::Workload;
+    use hpcsim_net::DType;
+
+    fn sim(machine: MachineSpec, ranks: usize, mode: ExecMode) -> TraceSim {
+        TraceSim::new(SimConfig::new(machine, ranks, mode))
+    }
+
+    #[test]
+    fn empty_program_finishes_at_zero() {
+        let mut s = sim(bluegene_p(), 16, ExecMode::Vn);
+        let res = s.run(&FnProgram(|_mpi: &mut Mpi| {}));
+        assert_eq!(res.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn compute_only_is_busy_time() {
+        let mut s = sim(bluegene_p(), 4, ExecMode::Vn);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            mpi.compute(Workload::Custom {
+                flops: 3.06e9, // exactly 1 s at 90% of 3.4 GF/s
+                dram_bytes: 0.0,
+                simd_eff: 0.9,
+                serial_frac: 0.0,
+            });
+        }));
+        let t = res.makespan().as_secs();
+        assert!((t - 1.0).abs() < 1e-9, "expected 1 s, got {t}");
+        assert_eq!(res.busy[0], res.finish[0]);
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            match mpi.rank() {
+                0 => {
+                    mpi.send(1, 0, 8);
+                    mpi.recv(1, 1, 8);
+                }
+                _ => {
+                    mpi.recv(0, 0, 8);
+                    mpi.send(0, 1, 8);
+                }
+            }
+        }));
+        let rtt = res.makespan().as_secs();
+        // two messages, each ~ o_send + o_recv + 1 hop
+        assert!(rtt > 2e-6 && rtt < 20e-6, "rtt {rtt}");
+    }
+
+    #[test]
+    fn message_ordering_matches_fifo() {
+        // two same-tag messages must match in posting order
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 9, 64);
+                mpi.send(1, 9, 64);
+            } else {
+                mpi.recv(0, 9, 64);
+                mpi.recv(0, 9, 64);
+            }
+        }));
+        assert_eq!(res.messages, 2);
+        assert!(res.makespan() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn collective_waits_for_slowest() {
+        let mut s = sim(bluegene_p(), 8, ExecMode::Vn);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            if mpi.rank() == 3 {
+                mpi.delay(SimTime::from_us(500)); // straggler
+            }
+            mpi.barrier(CommId::WORLD);
+        }));
+        // everyone leaves the barrier after the straggler
+        let min_finish = res.finish.iter().min().unwrap();
+        assert!(*min_finish >= SimTime::from_us(500));
+    }
+
+    #[test]
+    fn allreduce_dp_faster_than_sp_on_bgp() {
+        let time_for = |dtype| {
+            let mut s = sim(bluegene_p(), 256, ExecMode::Vn);
+            let res = s.run(&FnProgram(move |mpi: &mut Mpi| {
+                mpi.allreduce(CommId::WORLD, 32 * 1024, dtype);
+            }));
+            res.makespan()
+        };
+        assert!(time_for(DType::F64) < time_for(DType::F32));
+    }
+
+    #[test]
+    fn subcommunicator_collectives() {
+        let mut s = sim(bluegene_p(), 8, ExecMode::Vn);
+        let evens = s.register_comm((0..8).step_by(2).collect());
+        let res = s.run(&FnProgram(move |mpi: &mut Mpi| {
+            if mpi.rank().is_multiple_of(2) {
+                mpi.allreduce(evens, 1024, DType::F64);
+            }
+        }));
+        // odd ranks finish immediately; evens take the collective time
+        assert_eq!(res.finish[1], SimTime::ZERO);
+        assert!(res.finish[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn unexpected_message_costs_a_copy() {
+        // Receiver posts late for a big eager-ish message: the late-post
+        // path must not be faster than the early-post path.
+        let run = |recv_delay_us: u64| {
+            let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+            s.run(&FnProgram(move |mpi: &mut Mpi| {
+                if mpi.rank() == 0 {
+                    mpi.send(1, 0, 1024);
+                } else {
+                    mpi.delay(SimTime::from_us(recv_delay_us));
+                    mpi.recv(0, 0, 1024);
+                }
+            }))
+            .finish[1]
+        };
+        let early = run(0);
+        let late = run(100);
+        assert!(late > early);
+        // the late receiver's extra cost exceeds its own delay
+        assert!(late > SimTime::from_us(100));
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_drained() {
+        let machine = bluegene_p();
+        let thr = machine.nic.eager_threshold;
+        let mut s = sim(machine, 2, ExecMode::Smp);
+        let big = (thr * 100) as u64;
+        let res = s.run(&FnProgram(move |mpi: &mut Mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 0, big);
+            } else {
+                mpi.recv(0, 0, big);
+            }
+        }));
+        // sender cannot finish (wait returns) before the wire time of the
+        // payload at 425 MB/s
+        let wire_floor = big as f64 / 425e6;
+        assert!(res.finish[0].as_secs() > wire_floor, "{} <= {wire_floor}", res.finish[0]);
+    }
+
+    #[test]
+    fn eager_send_returns_immediately() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 0, 8); // far below eager threshold
+            } else {
+                mpi.delay(SimTime::from_ms(10));
+                mpi.recv(0, 0, 8);
+            }
+        }));
+        // sender is done in microseconds even though receiver is slow
+        assert!(res.finish[0] < SimTime::from_us(50));
+        assert!(res.finish[1] > SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn marks_record_phase_times() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let res = s.run(&FnProgram(|mpi: &mut Mpi| {
+            mpi.mark(1);
+            mpi.delay(SimTime::from_us(10));
+            mpi.mark(2);
+        }));
+        let m = &res.marks[0];
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (1, SimTime::ZERO));
+        assert_eq!(m[1], (2, SimTime::from_us(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let _ = s.run(&FnProgram(|mpi: &mut Mpi| {
+            // both ranks receive a message nobody sends
+            let peer = 1 - mpi.rank();
+            mpi.recv(peer, 0, 8);
+        }));
+    }
+
+    #[test]
+    fn xt_faster_for_bandwidth_bound_exchange() {
+        let run = |machine: MachineSpec| {
+            let mut s = sim(machine, 2, ExecMode::Smp);
+            s.run(&FnProgram(|mpi: &mut Mpi| {
+                let peer = 1 - mpi.rank();
+                mpi.sendrecv(peer, 0, 1 << 20, peer, 0, 1 << 20);
+            }))
+            .makespan()
+        };
+        let bgp = run(bluegene_p());
+        let xt = run(xt4_qc());
+        assert!(xt < bgp, "XT {xt} should beat BG/P {bgp} at 1 MiB");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut s = sim(bluegene_p(), 32, ExecMode::Vn);
+            s.run(&FnProgram(|mpi: &mut Mpi| {
+                let next = (mpi.rank() + 1) % mpi.size();
+                let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                mpi.sendrecv(next, 0, 4096, prev, 0, 4096);
+                mpi.allreduce(CommId::WORLD, 8, DType::F64);
+            }))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+    }
+}

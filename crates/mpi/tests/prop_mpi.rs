@@ -1,0 +1,148 @@
+//! Property tests for the replay engine: conservation (every send
+//! matched exactly once), determinism, monotone makespans, and
+//! mode-independence invariants — over randomized communication patterns.
+
+use hpcsim_engine::SimTime;
+use hpcsim_machine::registry::bluegene_p;
+use hpcsim_machine::{ExecMode, Workload};
+use hpcsim_mpi::{CommId, FnProgram, Mpi, SimConfig, TraceSim};
+use hpcsim_net::DType;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomized, deadlock-free communication pattern: a permutation ring
+/// where rank i sends to perm[i] and receives from perm⁻¹[i].
+fn ring_program(perm: Arc<Vec<usize>>, bytes: u64) -> impl Fn(&mut Mpi) + Sync {
+    move |mpi: &mut Mpi| {
+        let me = mpi.rank();
+        let dst = perm[me];
+        let src = perm.iter().position(|&x| x == me).unwrap();
+        if dst != me {
+            let r = mpi.irecv(src, 7, bytes);
+            let s = mpi.isend(dst, 7, bytes);
+            mpi.wait(r);
+            mpi.wait(s);
+        }
+    }
+}
+
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    // deterministic Fisher-Yates from a splitmix stream
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        state = hpcsim_engine::splitmix64(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every message sent is delivered exactly once: the replay finishes
+    /// (no deadlock) and counts match, for any permutation pattern.
+    #[test]
+    fn permutation_traffic_conserves(
+        n in 2usize..64,
+        seed: u64,
+        bytes in 1u64..1 << 18
+    ) {
+        let perm = Arc::new(permutation(n, seed));
+        let moved = perm.iter().enumerate().filter(|&(i, &d)| i != d).count() as u64;
+        let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n, ExecMode::Vn));
+        let res = sim.run(&FnProgram(ring_program(Arc::clone(&perm), bytes)));
+        prop_assert_eq!(res.messages, moved);
+        prop_assert_eq!(res.bytes_sent, moved * bytes);
+    }
+
+    /// Replay is deterministic for any pattern: identical runs produce
+    /// identical per-rank finish times.
+    #[test]
+    fn replay_deterministic(n in 2usize..48, seed: u64) {
+        let run = || {
+            let perm = Arc::new(permutation(n, seed));
+            let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n, ExecMode::Vn));
+            sim.run(&FnProgram(ring_program(perm, 4096)))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.busy, b.busy);
+    }
+
+    /// Adding compute before communication never decreases any rank's
+    /// finish time (monotonicity of the virtual clocks).
+    #[test]
+    fn extra_work_never_helps(n in 2usize..32, seed: u64, work_us in 0u64..500) {
+        let run = |extra: u64| {
+            let perm = Arc::new(permutation(n, seed));
+            let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n, ExecMode::Vn));
+            sim.run(&FnProgram(move |mpi: &mut Mpi| {
+                mpi.delay(SimTime::from_us(extra));
+                (ring_program(Arc::clone(&perm), 2048))(mpi);
+            }))
+        };
+        let base = run(0);
+        let loaded = run(work_us);
+        for (b, l) in base.finish.iter().zip(&loaded.finish) {
+            prop_assert!(l >= b);
+        }
+    }
+
+    /// Collectives synchronize: after a barrier, every rank's clock is at
+    /// least the straggler's pre-barrier clock, for any straggler.
+    #[test]
+    fn barrier_synchronizes(n in 2usize..64, straggler_seed: usize, delay_us in 1u64..2000) {
+        let n_ranks = n;
+        let straggler = straggler_seed % n_ranks;
+        let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n_ranks, ExecMode::Vn));
+        let res = sim.run(&FnProgram(move |mpi: &mut Mpi| {
+            if mpi.rank() == straggler {
+                mpi.delay(SimTime::from_us(delay_us));
+            }
+            mpi.barrier(CommId::WORLD);
+        }));
+        let floor = SimTime::from_us(delay_us);
+        for f in &res.finish {
+            prop_assert!(*f >= floor);
+        }
+    }
+
+    /// Busy time is conserved: a rank's busy time equals the sum of its
+    /// compute blocks regardless of what other ranks do.
+    #[test]
+    fn busy_time_is_local(n in 2usize..32, flops in 1.0e6f64..1.0e9) {
+        let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n, ExecMode::Vn));
+        let res = sim.run(&FnProgram(move |mpi: &mut Mpi| {
+            if mpi.rank().is_multiple_of(2) {
+                mpi.compute(Workload::Custom {
+                    flops, dram_bytes: 0.0, simd_eff: 1.0, serial_frac: 0.0,
+                });
+            }
+            mpi.allreduce(CommId::WORLD, 8, DType::F64);
+        }));
+        let expect = SimTime::from_secs(flops / bluegene_p().core_peak_flops());
+        for (r, b) in res.busy.iter().enumerate() {
+            if r.is_multiple_of(2) {
+                let err = b.as_ps().abs_diff(expect.as_ps());
+                prop_assert!(err <= 1, "rank {r}: busy {b} vs {expect}");
+            } else {
+                prop_assert_eq!(*b, SimTime::ZERO);
+            }
+        }
+    }
+
+    /// Makespan is monotone in payload size for a fixed pattern.
+    #[test]
+    fn makespan_monotone_in_bytes(n in 2usize..32, seed: u64, b1 in 1u64..1 << 20) {
+        let b2 = b1 * 2;
+        let run = |bytes: u64| {
+            let perm = Arc::new(permutation(n, seed));
+            let mut sim = TraceSim::new(SimConfig::new(bluegene_p(), n, ExecMode::Vn));
+            sim.run(&FnProgram(ring_program(perm, bytes))).makespan()
+        };
+        prop_assert!(run(b2) >= run(b1));
+    }
+}

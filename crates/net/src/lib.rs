@@ -1,0 +1,23 @@
+//! # hpcsim-net
+//!
+//! Network performance models for the simulated machines.
+//!
+//! * [`p2p`] — point-to-point message timing: dimension-ordered torus
+//!   routes with per-link and per-endpoint contention tracking
+//!   ([`p2p::FlowTracker`]), shared-memory fast paths for on-node peers,
+//!   and the LogGP-style endpoint overheads from the machine spec.
+//! * [`collectives`] — closed-form models of MPI collective operations:
+//!   the BlueGene hardware tree (broadcast / reduce / allreduce at
+//!   near-constant latency, the paper's Figure 3 story) and the software
+//!   algorithms (binomial, recursive halving/doubling, pairwise exchange)
+//!   that the Cray XT — and BG/P for torus-only operations — must use.
+//!
+//! The split of responsibilities with `hpcsim-mpi`: this crate answers
+//! "how long does the wire take"; the MPI crate owns matching semantics,
+//! protocol state (eager/rendezvous), and CPU overheads.
+
+pub mod collectives;
+pub mod p2p;
+
+pub use collectives::{CollectiveModel, CollectiveOp, DType};
+pub use p2p::{FlowHandle, FlowTracker, P2pModel};

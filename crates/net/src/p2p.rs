@@ -1,0 +1,321 @@
+//! Point-to-point wire model with contention.
+//!
+//! A message from node A to node B traverses the dimension-ordered route
+//! computed by `hpcsim-topo`. Its wire time is
+//!
+//! ```text
+//! t = hops · per_hop + bytes / bw_eff
+//! bw_eff = min( link_bw / max_link_load , inj_bw / tx_load , inj_bw / rx_load )
+//! ```
+//!
+//! where the loads count flows concurrently using each resource,
+//! *including this one*. The snapshot is taken at injection time — a
+//! standard flow-level approximation (flows that finish early make the
+//! estimate pessimistic, flows that start later make it optimistic; for
+//! the phase-structured codes in the study the two effects largely
+//! cancel). On-node peers (VN-mode tasks of one node) bypass the torus
+//! entirely via shared memory, which the BG/P system software also does.
+
+use hpcsim_engine::SimTime;
+use hpcsim_machine::MachineSpec;
+use hpcsim_topo::{LinkId, Torus3D};
+
+/// A registered in-flight flow; pass back to [`FlowTracker::release`].
+#[derive(Debug)]
+pub struct FlowHandle {
+    links: Vec<LinkId>,
+    src_node: usize,
+    dst_node: usize,
+}
+
+/// Concurrent-flow accounting over torus links and node endpoints.
+#[derive(Debug, Clone)]
+pub struct FlowTracker {
+    link_flows: Vec<u32>,
+    node_tx: Vec<u32>,
+    node_rx: Vec<u32>,
+}
+
+impl FlowTracker {
+    /// Tracker for a torus of the given size.
+    pub fn new(torus: &Torus3D) -> Self {
+        FlowTracker {
+            link_flows: vec![0; torus.links()],
+            node_tx: vec![0; torus.nodes()],
+            node_rx: vec![0; torus.nodes()],
+        }
+    }
+
+    /// Register a flow over `links` from `src_node` to `dst_node`;
+    /// returns the handle and the bottleneck concurrency (≥ 1) including
+    /// this flow.
+    pub fn acquire(&mut self, links: Vec<LinkId>, src_node: usize, dst_node: usize) -> (FlowHandle, u32) {
+        self.node_tx[src_node] += 1;
+        self.node_rx[dst_node] += 1;
+        let mut worst = self.node_tx[src_node].max(self.node_rx[dst_node]);
+        for l in &links {
+            let c = &mut self.link_flows[l.0];
+            *c += 1;
+            worst = worst.max(*c);
+        }
+        (FlowHandle { links, src_node, dst_node }, worst)
+    }
+
+    /// Deregister a completed flow.
+    pub fn release(&mut self, h: FlowHandle) {
+        self.node_tx[h.src_node] -= 1;
+        self.node_rx[h.dst_node] -= 1;
+        for l in &h.links {
+            self.link_flows[l.0] -= 1;
+        }
+    }
+
+    /// Current flow count on a link (diagnostics/tests).
+    pub fn link_load(&self, l: LinkId) -> u32 {
+        self.link_flows[l.0]
+    }
+
+    /// True when no flows are registered anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.link_flows.iter().all(|&c| c == 0)
+            && self.node_tx.iter().all(|&c| c == 0)
+            && self.node_rx.iter().all(|&c| c == 0)
+    }
+}
+
+/// The per-machine point-to-point wire model.
+#[derive(Debug, Clone)]
+pub struct P2pModel {
+    torus: Torus3D,
+    link_bw: f64,
+    inj_bw_oneway: f64,
+    per_hop: SimTime,
+    shm_latency: SimTime,
+    shm_bw: f64,
+    /// Adaptive-routing path diversity (≥ 1): contending flows spread
+    /// over this many effective routes.
+    diversity: f64,
+    /// Background flows per link from other jobs sharing the machine
+    /// (non-zero for fragmented XT allocations).
+    ambient: f64,
+}
+
+impl P2pModel {
+    /// Build from a machine spec and the job's torus.
+    pub fn new(machine: &MachineSpec, torus: Torus3D) -> Self {
+        P2pModel {
+            torus,
+            link_bw: machine.nic.torus_link_bw,
+            // Table 1 injection numbers are bidirectional aggregates.
+            inj_bw_oneway: machine.nic.injection_bw / 2.0,
+            per_hop: machine.nic.per_hop,
+            // On-node peers copy through shared memory: a cache-line
+            // handshake plus a memcpy at a fraction of node bandwidth.
+            shm_latency: SimTime::from_ns(500),
+            shm_bw: machine.mem.bw_bytes / 4.0,
+            diversity: machine.nic.route_diversity.max(1.0),
+            ambient: 0.0,
+        }
+    }
+
+    /// Add `ambient` background flows per link (other jobs on a shared,
+    /// fragmented machine).
+    pub fn with_ambient(mut self, ambient: f64) -> Self {
+        self.ambient = ambient.max(0.0);
+        self
+    }
+
+    /// Bandwidth share divisor for a bottleneck concurrency of `load`
+    /// flows. Contending flows only overlap for part of their lifetimes
+    /// (the half-overlap approximation), and adaptive routing spreads
+    /// them over `diversity` effective paths.
+    fn share_divisor(&self, load: u32) -> f64 {
+        let eff_load = 1.0 + (load.max(1) as f64 - 1.0) / self.diversity;
+        // Ambient traffic from co-resident jobs taxes every link the
+        // fragmented job touches, multiplicatively: those links are not
+        // spare capacity, they belong to someone else's partition.
+        (1.0 + eff_load) / 2.0 * (1.0 + self.ambient)
+    }
+
+    /// The torus this model routes on.
+    pub fn torus(&self) -> &Torus3D {
+        &self.torus
+    }
+
+    /// Contention-free wire time from `src_node` to `dst_node`.
+    pub fn wire_time(&self, src_node: usize, dst_node: usize, bytes: u64) -> SimTime {
+        if src_node == dst_node {
+            return self.shm_latency + SimTime::from_secs(bytes as f64 / self.shm_bw);
+        }
+        let hops = self.torus.hops(self.torus.coord(src_node), self.torus.coord(dst_node));
+        let bw = self.link_bw.min(self.inj_bw_oneway) / self.share_divisor(1);
+        self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw)
+    }
+
+    /// Wire time under current contention; registers the flow in
+    /// `tracker`. Returns the duration and the handle to release at
+    /// completion (`None` for the shared-memory path, which is not
+    /// tracked).
+    pub fn wire_time_contended(
+        &self,
+        tracker: &mut FlowTracker,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+    ) -> (SimTime, Option<FlowHandle>) {
+        if src_node == dst_node {
+            return (self.shm_latency + SimTime::from_secs(bytes as f64 / self.shm_bw), None);
+        }
+        let src = self.torus.coord(src_node);
+        let dst = self.torus.coord(dst_node);
+        let hops = self.torus.hops(src, dst);
+        let route = self.torus.route(src, dst);
+        let (handle, load) = tracker.acquire(route, src_node, dst_node);
+        let bw = self.link_bw.min(self.inj_bw_oneway) / self.share_divisor(load);
+        let t = self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw);
+        (t, Some(handle))
+    }
+
+    /// Mean nearest-neighbour (1 hop) small-message wire time — a
+    /// convenience for calibration tests.
+    pub fn nn_latency(&self) -> SimTime {
+        self.per_hop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim_machine::registry::{bluegene_p, xt4_qc};
+    use hpcsim_topo::Direction;
+
+    fn bgp_model() -> P2pModel {
+        P2pModel::new(&bluegene_p(), Torus3D::new([8, 8, 8]))
+    }
+
+    #[test]
+    fn wire_time_scales_with_hops_and_bytes() {
+        let m = bgp_model();
+        let one_hop_small = m.wire_time(0, 1, 8);
+        let far_small = m.wire_time(0, m.torus().index([4, 4, 4]), 8);
+        assert!(far_small > one_hop_small);
+        let one_hop_big = m.wire_time(0, 1, 1 << 20);
+        assert!(one_hop_big > one_hop_small * 100);
+    }
+
+    #[test]
+    fn bgp_large_message_rate_near_425mb() {
+        let m = bgp_model();
+        let bytes = 64 * 1024 * 1024u64;
+        let t = m.wire_time(0, 1, bytes).as_secs();
+        let rate = bytes as f64 / t;
+        assert!(rate > 0.9 * 425e6 && rate <= 425e6, "rate {rate:.3e}");
+    }
+
+    #[test]
+    fn xt_large_message_rate_is_higher() {
+        let xt = P2pModel::new(&xt4_qc(), Torus3D::new([8, 8, 8]));
+        let bgp = bgp_model();
+        let bytes = 16 * 1024 * 1024u64;
+        let t_xt = xt.wire_time(0, 1, bytes).as_secs();
+        let t_bgp = bgp.wire_time(0, 1, bytes).as_secs();
+        assert!(t_xt < t_bgp / 4.0, "XT bandwidth strength: {t_xt} vs {t_bgp}");
+    }
+
+    #[test]
+    fn on_node_messages_bypass_torus() {
+        let m = bgp_model();
+        let shm = m.wire_time(5, 5, 4096);
+        let wire = m.wire_time(5, 6, 4096);
+        assert!(shm < wire);
+    }
+
+    #[test]
+    fn contention_shares_bandwidth() {
+        // XT (deterministic routing): a second flow over the same link
+        // sees the half-overlap share, ~1.5x the solo time.
+        let m = P2pModel::new(&xt4_qc(), Torus3D::new([8, 8, 8]));
+        let mut tracker = FlowTracker::new(m.torus());
+        let bytes = 1 << 22;
+        let (t1, h1) = m.wire_time_contended(&mut tracker, 0, 1, bytes);
+        let (t2, h2) = m.wire_time_contended(&mut tracker, 0, 1, bytes);
+        let ratio = t2.as_secs() / t1.as_secs();
+        assert!(ratio > 1.3 && ratio < 1.7, "share ratio {ratio:.2}");
+        tracker.release(h1.unwrap());
+        tracker.release(h2.unwrap());
+        assert!(tracker.is_quiescent());
+        // BG/P's adaptive routing takes a smaller hit
+        let b = bgp_model();
+        let mut tr2 = FlowTracker::new(b.torus());
+        let (b1, g1) = b.wire_time_contended(&mut tr2, 0, 1, bytes);
+        let (b2, g2) = b.wire_time_contended(&mut tr2, 0, 1, bytes);
+        let bratio = b2.as_secs() / b1.as_secs();
+        assert!(bratio > 1.05 && bratio < ratio, "BG/P adaptive ratio {bratio:.2}");
+        tr2.release(g1.unwrap());
+        tr2.release(g2.unwrap());
+    }
+
+    #[test]
+    fn ambient_load_slows_everything() {
+        let quiet = P2pModel::new(&xt4_qc(), Torus3D::new([8, 8, 8]));
+        let busy = P2pModel::new(&xt4_qc(), Torus3D::new([8, 8, 8])).with_ambient(1.0);
+        let bytes = 1 << 20;
+        assert!(busy.wire_time(0, 1, bytes) > quiet.wire_time(0, 1, bytes));
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let m = bgp_model();
+        let mut tracker = FlowTracker::new(m.torus());
+        let a = m.torus().index([0, 0, 0]);
+        let b = m.torus().index([1, 0, 0]);
+        let c = m.torus().index([0, 4, 4]);
+        let d = m.torus().index([1, 4, 4]);
+        let (t1, h1) = m.wire_time_contended(&mut tracker, a, b, 1 << 20);
+        let (t2, h2) = m.wire_time_contended(&mut tracker, c, d, 1 << 20);
+        assert_eq!(t1, t2, "disjoint flows must be independent");
+        tracker.release(h1.unwrap());
+        tracker.release(h2.unwrap());
+    }
+
+    #[test]
+    fn endpoint_contention_counts() {
+        // Two flows out of the same node in different directions still
+        // share injection bandwidth.
+        let m = bgp_model();
+        let mut tracker = FlowTracker::new(m.torus());
+        let a = m.torus().index([0, 0, 0]);
+        let xp = m.torus().index([1, 0, 0]);
+        let yp = m.torus().index([0, 1, 0]);
+        let (_t1, h1) = m.wire_time_contended(&mut tracker, a, xp, 1 << 20);
+        let (t2, _h2) = m.wire_time_contended(&mut tracker, a, yp, 1 << 20);
+        let solo = m.wire_time(a, yp, 1 << 20);
+        assert!(t2 > solo, "shared injection must slow the second flow");
+        tracker.release(h1.unwrap());
+    }
+
+    #[test]
+    fn tracker_link_load_roundtrip() {
+        let t = Torus3D::new([4, 4, 4]);
+        let mut tracker = FlowTracker::new(&t);
+        let route = t.route([0, 0, 0], [2, 0, 0]);
+        let first = route[0];
+        let (h, load) = tracker.acquire(route, 0, t.index([2, 0, 0]));
+        assert_eq!(load, 1);
+        assert_eq!(tracker.link_load(first), 1);
+        tracker.release(h);
+        assert_eq!(tracker.link_load(first), 0);
+        assert!(tracker.is_quiescent());
+    }
+
+    #[test]
+    fn per_hop_latency_dominates_small_messages() {
+        let m = bgp_model();
+        let near = m.wire_time(0, 1, 8);
+        let far = m.wire_time(0, m.torus().index([4, 4, 4]), 8);
+        // 12 hops vs 1 hop at 64 ns/hop
+        let delta = (far - near).as_secs();
+        assert!((delta - 11.0 * 64e-9).abs() < 1e-9, "delta {delta}");
+        let _ = Direction::XPlus; // silence unused import lint paths
+    }
+}

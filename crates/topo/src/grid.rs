@@ -1,0 +1,209 @@
+//! Virtual process grids.
+//!
+//! The benchmarks and applications in the study decompose their domains
+//! over logical 2-D grids (HALO's "128 by 64 virtual processor grid", POP's
+//! block distribution) or 3-D grids (S3D's domain decomposition). These
+//! are *logical* structures — the mapping module decides where each rank
+//! physically lands.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical 2-D process grid with periodic neighbours, ranks row-major
+/// (`rank = row * cols + col`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid2D {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Grid2D {
+    /// A rows×cols grid. Both dimensions must be ≥ 1.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        Grid2D { rows, cols }
+    }
+
+    /// The most-square factorization of `p` ranks (rows ≤ cols).
+    pub fn near_square(p: usize) -> Self {
+        assert!(p >= 1);
+        let mut rows = (p as f64).sqrt() as usize;
+        while rows > 1 && !p.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        Grid2D { rows: rows.max(1), cols: p / rows.max(1) }
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// (row, col) of a rank.
+    pub fn pos(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at (row, col).
+    pub fn rank(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Northern neighbour (row − 1, periodic).
+    pub fn north(&self, rank: usize) -> usize {
+        let (r, c) = self.pos(rank);
+        self.rank((r + self.rows - 1) % self.rows, c)
+    }
+
+    /// Southern neighbour (row + 1, periodic).
+    pub fn south(&self, rank: usize) -> usize {
+        let (r, c) = self.pos(rank);
+        self.rank((r + 1) % self.rows, c)
+    }
+
+    /// Western neighbour (col − 1, periodic).
+    pub fn west(&self, rank: usize) -> usize {
+        let (r, c) = self.pos(rank);
+        self.rank(r, (c + self.cols - 1) % self.cols)
+    }
+
+    /// Eastern neighbour (col + 1, periodic).
+    pub fn east(&self, rank: usize) -> usize {
+        let (r, c) = self.pos(rank);
+        self.rank(r, (c + 1) % self.cols)
+    }
+}
+
+/// A logical 3-D process grid with periodic neighbours, ranks x-fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3D {
+    /// Extents along the three axes.
+    pub dims: [usize; 3],
+}
+
+impl Grid3D {
+    /// A grid of the given extents (each ≥ 1).
+    pub fn new(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1));
+        Grid3D { dims }
+    }
+
+    /// The most-cubic factorization of `p` ranks.
+    pub fn near_cube(p: usize) -> Self {
+        Grid3D { dims: crate::partition::torus_dims(p) }
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Position of a rank (x-fastest).
+    pub fn pos(&self, rank: usize) -> [usize; 3] {
+        debug_assert!(rank < self.size());
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Rank at a position.
+    pub fn rank(&self, p: [usize; 3]) -> usize {
+        debug_assert!((0..3).all(|i| p[i] < self.dims[i]));
+        p[0] + self.dims[0] * (p[1] + self.dims[1] * p[2])
+    }
+
+    /// Neighbour of `rank` offset ±1 along `axis` (periodic).
+    pub fn neighbor(&self, rank: usize, axis: usize, positive: bool) -> usize {
+        let mut p = self.pos(rank);
+        let n = self.dims[axis];
+        p[axis] = if positive { (p[axis] + 1) % n } else { (p[axis] + n - 1) % n };
+        self.rank(p)
+    }
+
+    /// The six face neighbours of a rank (pairs along x, y, z).
+    pub fn face_neighbors(&self, rank: usize) -> [usize; 6] {
+        [
+            self.neighbor(rank, 0, false),
+            self.neighbor(rank, 0, true),
+            self.neighbor(rank, 1, false),
+            self.neighbor(rank, 1, true),
+            self.neighbor(rank, 2, false),
+            self.neighbor(rank, 2, true),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_rank_pos_roundtrip() {
+        let g = Grid2D::new(4, 8);
+        for rank in 0..g.size() {
+            let (r, c) = g.pos(rank);
+            assert_eq!(g.rank(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn grid2d_neighbors_wrap() {
+        let g = Grid2D::new(4, 8);
+        assert_eq!(g.north(0), g.rank(3, 0));
+        assert_eq!(g.west(0), g.rank(0, 7));
+        assert_eq!(g.south(g.rank(3, 5)), g.rank(0, 5));
+        assert_eq!(g.east(g.rank(2, 7)), g.rank(2, 0));
+    }
+
+    #[test]
+    fn grid2d_neighbors_are_involutive() {
+        let g = Grid2D::new(5, 7);
+        for rank in 0..g.size() {
+            assert_eq!(g.south(g.north(rank)), rank);
+            assert_eq!(g.east(g.west(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn near_square_factors() {
+        assert_eq!(Grid2D::near_square(8192), Grid2D::new(64, 128)); // paper's HALO grid
+        assert_eq!(Grid2D::near_square(4096), Grid2D::new(64, 64));
+        assert_eq!(Grid2D::near_square(2048), Grid2D::new(32, 64));
+        assert_eq!(Grid2D::near_square(7), Grid2D::new(1, 7));
+        assert_eq!(Grid2D::near_square(1), Grid2D::new(1, 1));
+    }
+
+    #[test]
+    fn grid3d_roundtrip_and_neighbors() {
+        let g = Grid3D::new([4, 3, 2]);
+        for rank in 0..g.size() {
+            assert_eq!(g.rank(g.pos(rank)), rank);
+            for axis in 0..3 {
+                let fwd = g.neighbor(rank, axis, true);
+                assert_eq!(g.neighbor(fwd, axis, false), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn grid3d_face_neighbors_distinct_on_large_grid() {
+        let g = Grid3D::new([4, 4, 4]);
+        let n = g.face_neighbors(21);
+        let mut v = n.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 6);
+        assert!(!v.contains(&21));
+    }
+
+    #[test]
+    fn near_cube_uses_partition_shapes() {
+        assert_eq!(Grid3D::near_cube(512).dims, [8, 8, 8]);
+        assert_eq!(Grid3D::near_cube(1000).dims, [10, 10, 10]);
+    }
+}

@@ -1,0 +1,317 @@
+//! The 3-D torus: coordinates, distances, and dimension-ordered routes.
+//!
+//! Routes are materialized as sequences of [`LinkId`]s — one per traversed
+//! unidirectional link — because link occupancy is the unit of contention
+//! accounting in the network model. BG/P routes packets in dimension order
+//! (X, then Y, then Z), taking the shorter way around each ring; ties
+//! break toward the positive direction, matching the determinism of the
+//! hardware's default routing.
+
+use serde::{Deserialize, Serialize};
+
+/// A node position in the torus.
+pub type Coord = [usize; 3];
+
+/// One of the six torus link directions out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// +X neighbour.
+    XPlus,
+    /// −X neighbour.
+    XMinus,
+    /// +Y neighbour.
+    YPlus,
+    /// −Y neighbour.
+    YMinus,
+    /// +Z neighbour.
+    ZPlus,
+    /// −Z neighbour.
+    ZMinus,
+}
+
+impl Direction {
+    /// Dense index 0..6 (used for link-table addressing).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::XPlus => 0,
+            Direction::XMinus => 1,
+            Direction::YPlus => 2,
+            Direction::YMinus => 3,
+            Direction::ZPlus => 4,
+            Direction::ZMinus => 5,
+        }
+    }
+
+    /// Which dimension (0=X, 1=Y, 2=Z) this direction moves along.
+    pub fn dim(self) -> usize {
+        self.index() / 2
+    }
+}
+
+/// A unidirectional link, identified by its source node and direction.
+/// `id = node * 6 + direction` is a dense index into per-link tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Compose from source node index and direction.
+    pub fn new(node: usize, dir: Direction) -> Self {
+        LinkId(node * 6 + dir.index())
+    }
+
+    /// Source node index.
+    pub fn node(self) -> usize {
+        self.0 / 6
+    }
+
+    /// Direction out of the source node.
+    pub fn direction_index(self) -> usize {
+        self.0 % 6
+    }
+}
+
+/// A 3-D torus of the given dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus3D {
+    /// Ring sizes along X, Y, Z.
+    pub dims: Coord,
+}
+
+impl Torus3D {
+    /// A torus with dimensions `[x, y, z]`. All dimensions must be ≥ 1.
+    pub fn new(dims: Coord) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "torus dims must be >= 1: {dims:?}");
+        Torus3D { dims }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Total unidirectional link count (6 per node).
+    pub fn links(&self) -> usize {
+        self.nodes() * 6
+    }
+
+    /// Node index of a coordinate (X varies fastest).
+    pub fn index(&self, c: Coord) -> usize {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
+    }
+
+    /// Coordinate of a node index.
+    pub fn coord(&self, idx: usize) -> Coord {
+        debug_assert!(idx < self.nodes());
+        let x = idx % self.dims[0];
+        let y = (idx / self.dims[0]) % self.dims[1];
+        let z = idx / (self.dims[0] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Signed shortest offset from `a` to `b` along ring dimension `dim`:
+    /// positive means the +direction is (weakly) shorter. A ring of even
+    /// size has an ambiguous antipode; we choose +.
+    fn ring_offset(&self, a: usize, b: usize, dim: usize) -> isize {
+        let n = self.dims[dim] as isize;
+        let mut d = (b as isize - a as isize).rem_euclid(n); // 0..n
+        if d > n / 2 || (n % 2 == 0 && d == n / 2) {
+            // going − is strictly shorter, except exactly-half where we keep +
+            if d != n / 2 {
+                d -= n;
+            }
+        }
+        d
+    }
+
+    /// Hop distance between two nodes (sum of per-dimension shortest ring
+    /// distances).
+    pub fn hops(&self, a: Coord, b: Coord) -> usize {
+        (0..3)
+            .map(|d| {
+                let n = self.dims[d];
+                let fwd = (b[d] + n - a[d]) % n;
+                fwd.min(n - fwd)
+            })
+            .sum()
+    }
+
+    /// Average hop distance over all ordered node pairs — the analytic
+    /// expectation `Σ_d avg_ring(n_d)`, where a ring of size n has mean
+    /// shortest distance ≈ n/4.
+    pub fn mean_hops(&self) -> f64 {
+        self.dims
+            .iter()
+            .map(|&n| {
+                let n = n as f64;
+                // exact mean of min(k, n-k) over k=0..n-1:
+                // floor(n/2)*ceil(n/2)/n
+                if n <= 1.0 {
+                    0.0
+                } else {
+                    ((n / 2.0).floor() * (n / 2.0).ceil()) / n
+                }
+            })
+            .sum()
+    }
+
+    /// Dimension-ordered route from `a` to `b` as the sequence of
+    /// unidirectional links traversed. Empty when `a == b`.
+    pub fn route(&self, a: Coord, b: Coord) -> Vec<LinkId> {
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        let mut cur = a;
+        for dim in 0..3 {
+            let off = self.ring_offset(cur[dim], b[dim], dim);
+            let (dir, step): (Direction, isize) = match (dim, off >= 0) {
+                (0, true) => (Direction::XPlus, 1),
+                (0, false) => (Direction::XMinus, -1),
+                (1, true) => (Direction::YPlus, 1),
+                (1, false) => (Direction::YMinus, -1),
+                (_, true) => (Direction::ZPlus, 1),
+                (_, false) => (Direction::ZMinus, -1),
+            };
+            for _ in 0..off.unsigned_abs() {
+                links.push(LinkId::new(self.index(cur), dir));
+                let n = self.dims[dim] as isize;
+                cur[dim] = ((cur[dim] as isize + step).rem_euclid(n)) as usize;
+            }
+        }
+        debug_assert_eq!(cur, b, "route must terminate at destination");
+        links
+    }
+
+    /// Number of unidirectional links crossing the bisection orthogonal to
+    /// the longest dimension (the network's bandwidth choke point, which
+    /// PTRANS and Alltoall stress).
+    pub fn bisection_links(&self) -> usize {
+        let longest = *self.dims.iter().max().unwrap();
+        if longest <= 1 {
+            // degenerate: no bisection; treat all links of a node as the cut
+            return 6;
+        }
+        let cross_section: usize = self.nodes() / longest;
+        // each ring crossing the cut contributes 2 links per direction
+        // (wraparound), per cut plane, in one direction of traffic
+        let wrap = if longest > 2 { 2 } else { 1 };
+        cross_section * wrap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let t = Torus3D::new([8, 16, 32]);
+        for idx in [0, 1, 7, 8, 127, 128, 4095, t.nodes() - 1] {
+            assert_eq!(t.index(t.coord(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn hops_wraps_around() {
+        let t = Torus3D::new([8, 8, 8]);
+        assert_eq!(t.hops([0, 0, 0], [7, 0, 0]), 1); // wraparound
+        assert_eq!(t.hops([0, 0, 0], [4, 0, 0]), 4); // antipode
+        assert_eq!(t.hops([0, 0, 0], [3, 3, 3]), 9);
+        assert_eq!(t.hops([5, 5, 5], [5, 5, 5]), 0);
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let t = Torus3D::new([4, 6, 8]);
+        let pairs = [([0, 0, 0], [3, 5, 7]), ([1, 2, 3], [1, 2, 3]), ([0, 0, 0], [2, 3, 4])];
+        for (a, b) in pairs {
+            assert_eq!(t.route(a, b).len(), t.hops(a, b), "{a:?}->{b:?}");
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let t = Torus3D::new([8, 8, 8]);
+        let route = t.route([0, 0, 0], [2, 2, 0]);
+        let dims: Vec<usize> =
+            route.iter().map(|l| Direction::XPlus.dim().min(l.direction_index() / 2)).collect();
+        // first two hops along X (dim 0), then two along Y (dim 1)
+        let d: Vec<usize> = route.iter().map(|l| l.direction_index() / 2).collect();
+        assert_eq!(d, vec![0, 0, 1, 1]);
+        let _ = dims;
+    }
+
+    #[test]
+    fn route_takes_short_way_around() {
+        let t = Torus3D::new([8, 8, 8]);
+        let route = t.route([0, 0, 0], [7, 0, 0]);
+        assert_eq!(route.len(), 1);
+        assert_eq!(route[0].direction_index(), Direction::XMinus.index());
+    }
+
+    #[test]
+    fn antipode_tie_breaks_positive() {
+        let t = Torus3D::new([8, 1, 1]);
+        let route = t.route([0, 0, 0], [4, 0, 0]);
+        assert_eq!(route.len(), 4);
+        assert!(route.iter().all(|l| l.direction_index() == Direction::XPlus.index()));
+    }
+
+    #[test]
+    fn route_endpoints_chain() {
+        // each link's source node must be the previous link's destination
+        let t = Torus3D::new([5, 7, 3]);
+        let a = [4, 6, 2];
+        let b = [1, 0, 1];
+        let route = t.route(a, b);
+        let mut prev = t.index(a);
+        for l in &route {
+            assert_eq!(l.node(), prev, "chain break");
+            // advance prev along l
+            let c = t.coord(prev);
+            let dim = l.direction_index() / 2;
+            let n = t.dims[dim] as isize;
+            let step = if l.direction_index() % 2 == 0 { 1 } else { -1 };
+            let mut c2 = c;
+            c2[dim] = ((c[dim] as isize + step).rem_euclid(n)) as usize;
+            prev = t.index(c2);
+        }
+        assert_eq!(prev, t.index(b));
+    }
+
+    #[test]
+    fn link_id_roundtrip() {
+        let l = LinkId::new(123, Direction::ZMinus);
+        assert_eq!(l.node(), 123);
+        assert_eq!(l.direction_index(), 5);
+    }
+
+    #[test]
+    fn mean_hops_closed_form() {
+        // ring of 8: mean shortest distance = floor(4)*ceil(4)/8 = 2
+        let t = Torus3D::new([8, 8, 8]);
+        assert!((t.mean_hops() - 6.0).abs() < 1e-12);
+        // brute-force check on a small torus
+        let t = Torus3D::new([4, 3, 2]);
+        let mut sum = 0usize;
+        let n = t.nodes();
+        for i in 0..n {
+            for j in 0..n {
+                sum += t.hops(t.coord(i), t.coord(j));
+            }
+        }
+        let brute = sum as f64 / (n * n) as f64;
+        assert!((t.mean_hops() - brute).abs() < 1e-9, "model {} vs brute {brute}", t.mean_hops());
+    }
+
+    #[test]
+    fn bisection_links_cube() {
+        // 8x8x8: cut orthogonal to X: 64 node columns, wraparound -> 128
+        let t = Torus3D::new([8, 8, 8]);
+        assert_eq!(t.bisection_links(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be")]
+    fn zero_dim_rejected() {
+        let _ = Torus3D::new([0, 4, 4]);
+    }
+}

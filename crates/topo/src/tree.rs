@@ -1,0 +1,111 @@
+//! The global collective tree.
+//!
+//! BlueGene machines carry a dedicated one-to-all network, physically
+//! separate from the torus, used for broadcasts, reductions and
+//! compute-to-I/O-node traffic (§I.A). Each node has three tree links; a
+//! partition's nodes form a spanning tree of arity ≤ 2 (one uplink, up to
+//! two downlinks). What the performance model needs from the topology is
+//! the tree's **depth** — the number of store-and-forward stages a
+//! combine/broadcast wavefront crosses — and the per-node streaming
+//! bandwidth, which comes from the machine spec.
+
+use serde::{Deserialize, Serialize};
+
+/// The collective tree spanning one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveTree {
+    /// Number of participating nodes.
+    pub nodes: usize,
+    /// Fan-out of each tree node (2 on BlueGene: three links = one up +
+    /// two down).
+    pub arity: usize,
+}
+
+impl CollectiveTree {
+    /// Tree over `nodes` nodes with the BlueGene arity of 2.
+    pub fn bluegene(nodes: usize) -> Self {
+        CollectiveTree { nodes: nodes.max(1), arity: 2 }
+    }
+
+    /// Tree with a custom arity (for model studies).
+    pub fn with_arity(nodes: usize, arity: usize) -> Self {
+        assert!(arity >= 1);
+        CollectiveTree { nodes: nodes.max(1), arity }
+    }
+
+    /// Depth of a balanced `arity`-ary tree over the partition: the number
+    /// of link hops from the deepest leaf to the root.
+    pub fn depth(&self) -> usize {
+        if self.nodes <= 1 {
+            return 0;
+        }
+        let a = self.arity as f64;
+        if self.arity == 1 {
+            return self.nodes - 1;
+        }
+        // smallest d with (a^(d+1) - 1)/(a - 1) >= nodes
+        let mut total = 1usize;
+        let mut level = 1usize;
+        let mut d = 0usize;
+        while total < self.nodes {
+            level = level.saturating_mul(self.arity);
+            total = total.saturating_add(level);
+            d += 1;
+        }
+        let _ = a;
+        d
+    }
+
+    /// Hops crossed by a full reduce-then-broadcast (allreduce) wavefront:
+    /// up to the root and back down.
+    pub fn allreduce_hops(&self) -> usize {
+        2 * self.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_of_small_trees() {
+        assert_eq!(CollectiveTree::bluegene(1).depth(), 0);
+        assert_eq!(CollectiveTree::bluegene(2).depth(), 1);
+        assert_eq!(CollectiveTree::bluegene(3).depth(), 1);
+        assert_eq!(CollectiveTree::bluegene(4).depth(), 2);
+        assert_eq!(CollectiveTree::bluegene(7).depth(), 2);
+        assert_eq!(CollectiveTree::bluegene(8).depth(), 3);
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        // Eugene: 2048 nodes -> depth 11 for a binary tree
+        assert_eq!(CollectiveTree::bluegene(2048).depth(), 11);
+        assert_eq!(CollectiveTree::bluegene(2047).depth(), 10);
+        // Intrepid-scale
+        assert_eq!(CollectiveTree::bluegene(40960).depth(), 15);
+    }
+
+    #[test]
+    fn higher_arity_is_shallower() {
+        let bin = CollectiveTree::with_arity(1000, 2).depth();
+        let quad = CollectiveTree::with_arity(1000, 4).depth();
+        assert!(quad < bin);
+    }
+
+    #[test]
+    fn unary_tree_is_a_chain() {
+        assert_eq!(CollectiveTree::with_arity(5, 1).depth(), 4);
+    }
+
+    #[test]
+    fn allreduce_crosses_twice() {
+        let t = CollectiveTree::bluegene(2048);
+        assert_eq!(t.allreduce_hops(), 22);
+    }
+
+    #[test]
+    fn zero_nodes_clamped() {
+        assert_eq!(CollectiveTree::bluegene(0).depth(), 0);
+    }
+}

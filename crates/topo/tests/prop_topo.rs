@@ -1,0 +1,143 @@
+//! Property tests for topology invariants: routing is shortest-path and
+//! well-chained, mappings are bijections, grids invert, partitions
+//! factorize.
+
+use hpcsim_topo::{alloc_torus_dims, torus_dims, Grid2D, Grid3D, Mapping, Placement, Torus3D};
+use proptest::prelude::*;
+
+fn torus_strategy() -> impl Strategy<Value = Torus3D> {
+    (1usize..10, 1usize..10, 1usize..10).prop_map(|(x, y, z)| Torus3D::new([x, y, z]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Route length equals hop distance (routes are shortest paths) and
+    /// hop distance is a metric: symmetric, zero iff equal.
+    #[test]
+    fn routes_are_shortest_paths(t in torus_strategy(), a_seed: usize, b_seed: usize) {
+        let a = t.coord(a_seed % t.nodes());
+        let b = t.coord(b_seed % t.nodes());
+        prop_assert_eq!(t.route(a, b).len(), t.hops(a, b));
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert_eq!(t.hops(a, b) == 0, a == b);
+    }
+
+    /// Triangle inequality for torus hops.
+    #[test]
+    fn hops_triangle_inequality(t in torus_strategy(), s1: usize, s2: usize, s3: usize) {
+        let a = t.coord(s1 % t.nodes());
+        let b = t.coord(s2 % t.nodes());
+        let c = t.coord(s3 % t.nodes());
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    /// Routes chain: each link leaves the node the previous link reached.
+    #[test]
+    fn routes_chain(t in torus_strategy(), s1: usize, s2: usize) {
+        let a = t.coord(s1 % t.nodes());
+        let b = t.coord(s2 % t.nodes());
+        let route = t.route(a, b);
+        let mut cur = t.index(a);
+        for l in &route {
+            prop_assert_eq!(l.node(), cur);
+            let c = t.coord(cur);
+            let dim = l.direction_index() / 2;
+            let step: isize = if l.direction_index() % 2 == 0 { 1 } else { -1 };
+            let n = t.dims[dim] as isize;
+            let mut c2 = c;
+            c2[dim] = ((c[dim] as isize + step).rem_euclid(n)) as usize;
+            cur = t.index(c2);
+        }
+        prop_assert_eq!(cur, t.index(b));
+    }
+
+    /// Every predefined mapping is a bijection from ranks onto
+    /// (node, slot) pairs.
+    #[test]
+    fn mappings_bijective(
+        t in torus_strategy(),
+        tpn in 1usize..5,
+        mapping_idx in 0usize..12
+    ) {
+        let (_, mapping) = Mapping::predefined().swap_remove(mapping_idx);
+        let total = t.nodes() * tpn;
+        let mut seen = vec![false; total];
+        for r in 0..total {
+            let (coord, slot) = mapping.place(r, &t, tpn);
+            let key = t.index(coord) * tpn + slot;
+            prop_assert!(!seen[key], "collision at rank {r}");
+            seen[key] = true;
+            prop_assert_eq!(mapping.rank_of(coord, slot, &t, tpn), r);
+        }
+    }
+
+    /// Partition factorizations multiply back exactly and are sorted.
+    #[test]
+    fn torus_dims_factorize(n in 1usize..5000) {
+        let d = torus_dims(n);
+        prop_assert_eq!(d[0] * d[1] * d[2], n);
+        prop_assert!(d[0] <= d[1] && d[1] <= d[2]);
+    }
+
+    /// Physical allocations hold the job with bounded padding and avoid
+    /// degenerate aspect ratios for non-tiny counts.
+    #[test]
+    fn alloc_dims_bounded(n in 1usize..5000) {
+        let d = alloc_torus_dims(n);
+        let v = d[0] * d[1] * d[2];
+        prop_assert!(v >= n, "{d:?} too small for {n}");
+        prop_assert!(v <= n + n / 4 + 2, "{d:?} overpadded for {n}");
+        if n >= 64 {
+            let cube = (n as f64).cbrt();
+            prop_assert!((d[2] as f64) < cube * 8.0, "{d:?} too skewed for {n}");
+        }
+    }
+
+    /// Placement yields exactly job_nodes distinct machine nodes inside
+    /// the placement torus, deterministically per seed.
+    #[test]
+    fn placement_valid(job in 1usize..300, spread in 1.0f64..3.0, seed: u64) {
+        let p = Placement::Fragmented { spread, seed };
+        let (t, nodes) = p.place(job);
+        prop_assert_eq!(nodes.len(), job);
+        let mut uniq = nodes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), job, "duplicate placement");
+        prop_assert!(nodes.iter().all(|&n| n < t.nodes()));
+        let (_, nodes2) = p.place(job);
+        prop_assert_eq!(nodes, nodes2);
+    }
+
+    /// 2-D grid neighbours are inverse pairs and stay in range.
+    #[test]
+    fn grid2d_neighbors_inverse(rows in 1usize..40, cols in 1usize..40, r_seed: usize) {
+        let g = Grid2D::new(rows, cols);
+        let rank = r_seed % g.size();
+        prop_assert_eq!(g.south(g.north(rank)), rank);
+        prop_assert_eq!(g.north(g.south(rank)), rank);
+        prop_assert_eq!(g.east(g.west(rank)), rank);
+        prop_assert_eq!(g.west(g.east(rank)), rank);
+        prop_assert!(g.north(rank) < g.size());
+    }
+
+    /// near_square factorizations are exact and as square as claimed.
+    #[test]
+    fn near_square_exact(p in 1usize..10_000) {
+        let g = Grid2D::near_square(p);
+        prop_assert_eq!(g.rows * g.cols, p);
+        prop_assert!(g.rows <= g.cols);
+    }
+
+    /// 3-D grid: rank/pos round trip and face neighbours stay in range.
+    #[test]
+    fn grid3d_roundtrip(x in 1usize..8, y in 1usize..8, z in 1usize..8, seed: usize) {
+        let g = Grid3D::new([x, y, z]);
+        let rank = seed % g.size();
+        prop_assert_eq!(g.rank(g.pos(rank)), rank);
+        for nb in g.face_neighbors(rank) {
+            prop_assert!(nb < g.size());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Collective showdown: the hardware tree vs software algorithms.
+//!
+//! Sweeps MPI_Allreduce and MPI_Bcast across payloads and scales on both
+//! machines — Figure 3's full story including the BG/P single- vs
+//! double-precision split (the tree ALU offloads doubles, singles fall
+//! back to software on the torus).
+//!
+//! ```text
+//! cargo run --release --example collective_showdown
+//! ```
+
+use bgp_eval::hpcc::{imb_allreduce, imb_bcast};
+use bgp_eval::machine::registry::{bluegene_p, xt4_qc};
+use bgp_eval::machine::ExecMode;
+use bgp_eval::net::DType;
+
+fn main() {
+    let bgp = bluegene_p();
+    let xt = xt4_qc();
+    let ranks = 2048;
+
+    println!("MPI_Allreduce latency (us) at {ranks} processes, VN mode\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>9}",
+        "bytes", "BG/P double", "BG/P single", "XT4/QC double", "BGP win"
+    );
+    for bytes in [8u64, 512, 32 * 1024, 1 << 20] {
+        let b_dp = imb_allreduce(&bgp, ExecMode::Vn, ranks, bytes, DType::F64).usec;
+        let b_sp = imb_allreduce(&bgp, ExecMode::Vn, ranks, bytes, DType::F32).usec;
+        let x_dp = imb_allreduce(&xt, ExecMode::Vn, ranks, bytes, DType::F64).usec;
+        println!("{bytes:>10} {b_dp:>14.1} {b_sp:>14.1} {x_dp:>14.1} {:>8.1}x", x_dp / b_dp);
+    }
+
+    println!("\nMPI_Bcast latency (us), 32 KiB payload, across scales\n");
+    println!("{:>10} {:>12} {:>12} {:>9}", "processes", "BG/P", "XT4/QC", "BGP win");
+    for p in [128usize, 512, 2048, 8192] {
+        let b = imb_bcast(&bgp, ExecMode::Vn, p, 32 * 1024).usec;
+        let x = imb_bcast(&xt, ExecMode::Vn, p, 32 * 1024).usec;
+        println!("{p:>10} {b:>12.1} {x:>12.1} {:>8.1}x", x / b);
+    }
+    println!(
+        "\n-> the dedicated tree keeps BG/P's collectives near-flat in both \
+         payload and scale; the XT pays log2(p) software stages every time. \
+         And on BG/P, use DOUBLE precision reductions (§II.B.2)."
+    );
+}

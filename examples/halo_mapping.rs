@@ -1,0 +1,54 @@
+//! HALO mapping study: when does the rank-to-torus mapping matter?
+//!
+//! Reproduces the logic of the paper's Figure 2(c,d): run the Wallcraft
+//! HALO exchange under all eight predefined mappings at a small and a
+//! large halo size. The mapping is irrelevant while exchanges are
+//! latency-dominated, and worth real money once they are bandwidth-bound.
+//!
+//! ```text
+//! cargo run --release --example halo_mapping
+//! ```
+
+use bgp_eval::hpcc::{halo_run, HaloConfig, HaloProtocol};
+use bgp_eval::machine::registry::bluegene_p;
+use bgp_eval::machine::ExecMode;
+use bgp_eval::topo::{Grid2D, Mapping};
+
+fn main() {
+    let machine = bluegene_p();
+    let ranks = 1024; // 32x32 virtual grid, VN mode -> 256 nodes
+    let grid = Grid2D::near_square(ranks);
+    println!(
+        "HALO exchange on BG/P, {} ranks as {}x{} grid (VN mode)\n",
+        ranks, grid.rows, grid.cols
+    );
+    println!("{:>8} {:>14} {:>14}", "mapping", "8 words (us)", "32768 words (us)");
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for (name, mapping) in Mapping::fig2_set() {
+        let run = |words: u64| {
+            let cfg = HaloConfig { grid, words, protocol: HaloProtocol::IrecvIsend, reps: 2 };
+            halo_run(&machine, ExecMode::Vn, mapping, &cfg) * 1e6
+        };
+        results.push((name, run(8), run(32_768)));
+    }
+    for (name, small, large) in &results {
+        println!("{name:>8} {small:>14.1} {large:>14.1}");
+    }
+
+    let spread = |sel: &dyn Fn(&(String, f64, f64)) -> f64| {
+        let min = results.iter().map(sel).fold(f64::INFINITY, f64::min);
+        let max = results.iter().map(sel).fold(0.0f64, f64::max);
+        max / min
+    };
+    println!(
+        "\nworst/best ratio: {:.2}x at 8 words, {:.2}x at 32768 words",
+        spread(&|r| r.1),
+        spread(&|r| r.2)
+    );
+    println!(
+        "-> \"optimizing with respect to process/processor mapping is likely \
+         unimportant when communication is latency dominated, but may be \
+         important when communication is bandwidth limited.\" (paper, §II.B.1)"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests pinning consistency *between* crates: the layered
+//! models must agree where their domains overlap.
+
+use bgp_eval::engine::SimTime;
+use bgp_eval::machine::registry::{all_machines, bluegene_p};
+use bgp_eval::machine::{ExecMode, NodeModel, Workload};
+use bgp_eval::mpi::{CommId, FnProgram, Mpi, SimConfig, TraceSim};
+use bgp_eval::net::{CollectiveModel, CollectiveOp, DType};
+use bgp_eval::power::PowerModel;
+use bgp_eval::topo::{torus_dims, Mapping, Torus3D};
+
+/// The node model's DGEMM rate must stay below the registry's peak for
+/// every machine and mode — no model can beat the hardware.
+#[test]
+fn node_model_bounded_by_peak() {
+    for m in all_machines() {
+        let model = NodeModel::new(m.clone());
+        for mode in [ExecMode::Smp, ExecMode::Dual, ExecMode::Vn] {
+            let rate = model.sustained_flops(&Workload::Dgemm { n: 1024 }, mode, 1);
+            assert!(
+                rate <= m.core_peak_flops() * 1.0001,
+                "{} {:?}: {rate:.3e} exceeds peak",
+                m.id,
+                mode
+            );
+            assert!(rate > 0.3 * m.core_peak_flops(), "{} DGEMM suspiciously slow", m.id);
+        }
+    }
+}
+
+/// A barrier simulated through the full TraceSim must take at least the
+/// closed-form CollectiveModel duration (replay adds skew, never removes
+/// time).
+#[test]
+fn replay_barrier_at_least_model_time() {
+    let machine = bluegene_p();
+    let ranks = 256;
+    let model = CollectiveModel::new(&machine, ranks, 4);
+    let model_t = model.time(CollectiveOp::Barrier);
+    let mut sim = TraceSim::new(SimConfig::new(machine, ranks, ExecMode::Vn));
+    let res = sim.run(&FnProgram(|mpi: &mut Mpi| {
+        mpi.barrier(CommId::WORLD);
+    }));
+    assert!(res.makespan() >= model_t);
+    assert!(res.makespan() <= model_t.scale(3.0) + SimTime::from_us(5));
+}
+
+/// Mapping placement and torus routing agree: every rank placed by every
+/// predefined mapping lands on a valid node of the partition torus.
+#[test]
+fn mappings_place_within_partition() {
+    let machine = bluegene_p();
+    for ranks in [64usize, 100, 1024] {
+        let nodes = ranks.div_ceil(4);
+        let torus = Torus3D::new(torus_dims(nodes));
+        for (_, mapping) in Mapping::predefined() {
+            for r in (0..ranks).step_by(7) {
+                let (coord, slot) = mapping.place(r, &torus, 4);
+                assert!(torus.index(coord) < torus.nodes());
+                assert!(slot < 4);
+            }
+        }
+        let _ = &machine;
+    }
+}
+
+/// Power model × node model: energy to solution for a fixed workload is
+/// lower on BG/P despite the longer runtime — the paper's efficiency
+/// argument as an equation.
+#[test]
+fn energy_to_solution_favors_bgp() {
+    use bgp_eval::machine::registry::xt4_qc;
+    let work = Workload::Dgemm { n: 4000 };
+    let mut results = Vec::new();
+    for m in [bluegene_p(), xt4_qc()] {
+        let model = NodeModel::new(m.clone());
+        let pm = PowerModel::new(m.clone());
+        let t = model.time(&work, ExecMode::Vn, 1).as_secs();
+        // 4 tasks on one node doing this work each: node energy
+        let joules = pm.node_power_w(0.95) * t;
+        results.push((m.id, t, joules));
+    }
+    let (bgp, xt) = (&results[0], &results[1]);
+    assert!(bgp.1 > xt.1, "BG/P is slower: {:.3}s vs {:.3}s", bgp.1, xt.1);
+    assert!(bgp.2 < xt.2, "but cheaper: {:.1}J vs {:.1}J", bgp.2, xt.2);
+}
+
+/// SimTime arithmetic used across crates survives a full replay: the
+/// makespan equals the max rank finish and utilization is within [0,1].
+#[test]
+fn replay_invariants() {
+    let machine = bluegene_p();
+    let mut sim = TraceSim::new(SimConfig::new(machine, 128, ExecMode::Vn));
+    let res = sim.run(&FnProgram(|mpi: &mut Mpi| {
+        let next = (mpi.rank() + 1) % mpi.size();
+        let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+        mpi.compute(Workload::StreamTriad { n: 100_000 });
+        mpi.sendrecv(next, 0, 4096, prev, 0, 4096);
+        mpi.allreduce(CommId::WORLD, 8, DType::F64);
+    }));
+    let max = res.finish.iter().copied().max().unwrap();
+    assert_eq!(res.makespan(), max);
+    let u = res.mean_utilization();
+    assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    assert!(res.bytes_sent == 128 * 4096);
+    assert_eq!(res.messages, 128);
+}
+
+/// Every machine's collective model is monotone in ranks for barriers on
+/// software trees, and flat-ish on hardware trees.
+#[test]
+fn barrier_scaling_by_family() {
+    for m in all_machines() {
+        let t_small = CollectiveModel::new(&m, 64, 4).time(CollectiveOp::Barrier);
+        let t_large = CollectiveModel::new(&m, 16384, 4).time(CollectiveOp::Barrier);
+        if m.nic.has_barrier_network {
+            assert!(
+                t_large < t_small.scale(2.0) + SimTime::from_us(2),
+                "{}: hardware barrier should stay flat",
+                m.id
+            );
+        } else {
+            assert!(t_large > t_small.scale(1.3), "{}: software barrier should grow", m.id);
+        }
+    }
+}
