@@ -5,36 +5,45 @@
 //! repro fig3 table3         # selected experiments
 //! repro all --paper         # the paper's process counts (slow)
 //! repro all --out results/  # artifact directory (default target/repro)
+//! repro all --jobs 1        # sequential (output is identical at any N)
+//! repro all --bench-json    # write BENCH_repro.json wall-clock report
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
-//! writes CSV files to the artifact directory.
+//! writes CSV files to the artifact directory. Experiments fan their
+//! simulation points out over `--jobs` workers (default: one per
+//! available core); results are assembled in a fixed order, so the
+//! artifacts are byte-identical regardless of the worker count.
 
-use hpcsim_bench::parse_flags;
-use hpcsim_core::{run_experiment, ExperimentId, Scale};
+use hpcsim_bench::{bench_json_report, PhaseTiming, RunFlags};
+use hpcsim_core::{run_experiment, set_jobs, ExperimentId, Scale};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--paper] [--out DIR] all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
+        "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (paper, out_dir, positional) = parse_flags(&raw);
-    if positional.is_empty() {
+    let flags = RunFlags::parse(&raw);
+    if flags.positional.is_empty() {
         usage();
     }
-    let scale = if paper { Scale::Paper } else { Scale::Quick };
+    if let Some(n) = flags.jobs {
+        set_jobs(n);
+    }
+    let scale = if flags.paper { Scale::Paper } else { Scale::Quick };
+    let out_dir = &flags.out;
 
-    let want_ablations =
-        positional.iter().any(|p| p == "ablations" || p == "all");
-    let ids: Vec<ExperimentId> = if positional.iter().any(|p| p == "all") {
+    let want_ablations = flags.positional.iter().any(|p| p == "ablations" || p == "all");
+    let ids: Vec<ExperimentId> = if flags.positional.iter().any(|p| p == "all") {
         ExperimentId::all().to_vec()
     } else {
-        positional
+        flags
+            .positional
             .iter()
             .filter(|p| p.as_str() != "ablations")
             .map(|p| ExperimentId::from_slug(p).unwrap_or_else(|| usage()))
@@ -42,30 +51,50 @@ fn main() {
     };
 
     println!("# Early Evaluation of IBM BlueGene/P (SC08) — reproduction run");
-    println!("# scale: {scale:?}; artifacts: {}", out_dir.display());
+    println!(
+        "# scale: {scale:?}; jobs: {}; artifacts: {}",
+        hpcsim_core::jobs(),
+        out_dir.display()
+    );
+    let battery_start = Instant::now();
+    let mut timings: Vec<PhaseTiming> = Vec::new();
     for id in ids {
         let start = Instant::now();
         let artifact = run_experiment(id, scale);
         print!("{}", artifact.render());
-        match artifact.write_csv(&out_dir) {
+        let seconds = start.elapsed().as_secs_f64();
+        match artifact.write_csv(out_dir) {
             Ok(paths) => {
-                println!(
-                    "# {}: {} artifact file(s) in {:.1}s\n",
-                    id.slug(),
-                    paths.len(),
-                    start.elapsed().as_secs_f64()
-                );
+                println!("# {}: {} artifact file(s) in {seconds:.1}s\n", id.slug(), paths.len());
             }
             Err(e) => eprintln!("# {}: CSV write failed: {e}", id.slug()),
         }
+        timings.push(PhaseTiming { name: id.slug().to_string(), seconds });
     }
     if want_ablations {
         let start = Instant::now();
-        let ranks = if paper { 2048 } else { 512 };
+        let ranks = if flags.paper { 2048 } else { 512 };
         let table = hpcsim_core::ablation_table(ranks);
         print!("{}", table.render());
-        let _ = std::fs::create_dir_all(&out_dir);
+        let _ = std::fs::create_dir_all(out_dir);
         let _ = std::fs::write(out_dir.join("ablations.csv"), table.to_csv());
-        println!("# ablations: done in {:.1}s\n", start.elapsed().as_secs_f64());
+        let seconds = start.elapsed().as_secs_f64();
+        println!("# ablations: done in {seconds:.1}s\n");
+        timings.push(PhaseTiming { name: "ablations".to_string(), seconds });
+    }
+
+    let total = battery_start.elapsed().as_secs_f64();
+    println!(
+        "# total: {} experiment(s) in {total:.1}s (jobs={})",
+        timings.len(),
+        hpcsim_core::jobs()
+    );
+    if let Some(path) = &flags.bench_json {
+        let scale_name = if flags.paper { "paper" } else { "quick" };
+        let report = bench_json_report(scale_name, hpcsim_core::jobs(), &timings, total);
+        match std::fs::write(path, report) {
+            Ok(()) => println!("# wall-clock report: {}", path.display()),
+            Err(e) => eprintln!("# bench-json write failed: {e}"),
+        }
     }
 }

@@ -18,28 +18,103 @@ pub fn default_out_dir() -> PathBuf {
     PathBuf::from("target/repro")
 }
 
+/// Default path for the `--bench-json` wall-clock report.
+pub fn default_bench_json() -> PathBuf {
+    PathBuf::from("BENCH_repro.json")
+}
+
+/// Everything the `repro` CLI accepts.
+#[derive(Debug, Clone)]
+pub struct RunFlags {
+    /// `--paper` (overridden back by a later `--quick`).
+    pub paper: bool,
+    /// `--out DIR` artifact directory.
+    pub out: PathBuf,
+    /// `--jobs N` worker count; `None` = auto (one per available core).
+    pub jobs: Option<usize>,
+    /// `--bench-json`: where to write the wall-clock report, if asked.
+    pub bench_json: Option<PathBuf>,
+    /// Remaining positional args (experiment slugs).
+    pub positional: Vec<String>,
+}
+
+impl RunFlags {
+    /// Parse raw CLI args. Unknown `--flags` are kept as positionals so
+    /// the caller's usage check can reject them with context.
+    pub fn parse(args: &[String]) -> RunFlags {
+        let mut flags = RunFlags {
+            paper: false,
+            out: default_out_dir(),
+            jobs: None,
+            bench_json: None,
+            positional: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => flags.paper = true,
+                "--quick" => flags.paper = false,
+                "--out" => {
+                    i += 1;
+                    if i < args.len() {
+                        flags.out = PathBuf::from(&args[i]);
+                    }
+                }
+                "--jobs" => {
+                    i += 1;
+                    flags.jobs = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                }
+                "--bench-json" => flags.bench_json = Some(default_bench_json()),
+                other => flags.positional.push(other.to_string()),
+            }
+            i += 1;
+        }
+        flags
+    }
+}
+
 /// Parse `--paper` / `--out DIR` style flags from raw args; returns
 /// (paper_scale, out_dir, remaining positional args).
 pub fn parse_flags(args: &[String]) -> (bool, PathBuf, Vec<String>) {
-    let mut paper = false;
-    let mut out = default_out_dir();
-    let mut rest = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--paper" => paper = true,
-            "--quick" => paper = false,
-            "--out" => {
-                i += 1;
-                if i < args.len() {
-                    out = PathBuf::from(&args[i]);
-                }
-            }
-            other => rest.push(other.to_string()),
-        }
-        i += 1;
+    let f = RunFlags::parse(args);
+    (f.paper, f.out, f.positional)
+}
+
+/// One timed phase of a repro run.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Experiment slug (or "ablations").
+    pub name: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Render the `--bench-json` report. Hand-rolled so the harness stays
+/// dependency-free; the schema is flat enough that escaping never
+/// matters (names are slugs, numbers are finite).
+pub fn bench_json_report(
+    scale: &str,
+    jobs: usize,
+    phases: &[PhaseTiming],
+    total_seconds: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/1\",\n");
+    s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}}}{comma}\n",
+            p.name, p.seconds
+        ));
     }
-    (paper, out, rest)
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
+    s.push_str("}\n");
+    s
 }
 
 #[cfg(test)]
@@ -69,5 +144,34 @@ mod tests {
         let args: Vec<String> = ["--paper", "--quick"].iter().map(|s| s.to_string()).collect();
         let (paper, _, _) = parse_flags(&args);
         assert!(!paper);
+    }
+
+    #[test]
+    fn jobs_and_bench_json_flags() {
+        let args: Vec<String> =
+            ["--jobs", "4", "--bench-json", "all"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args);
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.bench_json, Some(default_bench_json()));
+        assert_eq!(f.positional, vec!["all".to_string()]);
+        // a malformed count falls back to auto rather than crashing
+        let args: Vec<String> = ["--jobs", "lots"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(RunFlags::parse(&args).jobs, None);
+    }
+
+    #[test]
+    fn bench_json_is_parseable_shape() {
+        let phases = vec![
+            PhaseTiming { name: "table2".into(), seconds: 0.51 },
+            PhaseTiming { name: "fig3".into(), seconds: 1.25 },
+        ];
+        let s = bench_json_report("quick", 8, &phases, 1.76);
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
+        assert!(s.contains("\"total_seconds\": 1.760"));
+        // one comma between the two experiment entries, none after the last
+        assert_eq!(s.matches("},\n    {").count(), 1);
+        assert!(s.contains("1.250}\n  ],"));
     }
 }

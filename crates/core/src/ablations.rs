@@ -16,6 +16,7 @@
 //! * **double hummer** — halve flops/cycle and rerun DGEMM.
 
 use crate::report::Table;
+use crate::runner::parmap;
 use hpcsim_apps::{pop_run, PopConfig};
 use hpcsim_hpcc::{halo_run, imb_allreduce, imb_bcast, HaloConfig, HaloProtocol};
 use hpcsim_machine::registry::bluegene_p;
@@ -67,89 +68,105 @@ fn without_double_hummer(m: &MachineSpec) -> MachineSpec {
 }
 
 /// Run the full ablation battery on BG/P at `ranks` tasks.
+///
+/// Each measurement is a self-contained with/without pair, so the
+/// battery is expressed as a scenario set and fanned out over the
+/// worker pool; results come back in the declared order.
 pub fn run_ablations(ranks: usize) -> Vec<Ablation> {
     let base = bluegene_p();
-    let mut out = Vec::new();
-
-    // 1. collective tree: Allreduce latency at 32 KiB
-    let t_with = imb_allreduce(&base, ExecMode::Vn, ranks, 32 * 1024, DType::F64).usec;
-    let t_without =
-        imb_allreduce(&without_tree(&base), ExecMode::Vn, ranks, 32 * 1024, DType::F64).usec;
-    out.push(Ablation {
-        feature: "collective tree",
-        workload: "Allreduce 32KiB",
-        slowdown: t_without / t_with,
-    });
-
-    // ... and Bcast
-    let b_with = imb_bcast(&base, ExecMode::Vn, ranks, 32 * 1024).usec;
-    let b_without = imb_bcast(&without_tree(&base), ExecMode::Vn, ranks, 32 * 1024).usec;
-    out.push(Ablation {
-        feature: "collective tree",
-        workload: "Bcast 32KiB",
-        slowdown: b_without / b_with,
-    });
-
-    // ... and end-to-end POP (the barotropic solver leans on it)
     let pop_cfg = PopConfig::default();
-    let syd_with = pop_run(&base, ExecMode::Vn, ranks, 1, &pop_cfg).syd;
-    let syd_without = pop_run(&without_tree(&base), ExecMode::Vn, ranks, 1, &pop_cfg).syd;
-    out.push(Ablation {
-        feature: "collective tree",
-        workload: "POP 0.1deg (SYD)",
-        slowdown: syd_with / syd_without,
-    });
-
-    // 2. adaptive routing: bandwidth-bound HALO
     let halo_cfg = HaloConfig {
         grid: Grid2D::near_square(ranks),
         words: 32_768,
         protocol: HaloProtocol::IrecvIsend,
         reps: 2,
     };
-    let h_with = halo_run(&base, ExecMode::Vn, Mapping::txyz(), &halo_cfg);
-    let h_without =
-        halo_run(&without_adaptive_routing(&base), ExecMode::Vn, Mapping::txyz(), &halo_cfg);
-    out.push(Ablation {
-        feature: "adaptive routing",
-        workload: "HALO 32768 words",
-        slowdown: h_without / h_with,
-    });
+    let mid_cfg = HaloConfig { words: 128, ..halo_cfg.clone() };
 
-    // 3. eager threshold: mid-size halos forced into rendezvous
-    let mid_cfg = HaloConfig { words: 128, ..halo_cfg };
-    let e_with = halo_run(&base, ExecMode::Vn, Mapping::txyz(), &mid_cfg);
-    let e_without = halo_run(&with_tiny_eager(&base), ExecMode::Vn, Mapping::txyz(), &mid_cfg);
-    out.push(Ablation {
-        feature: "eager protocol window",
-        workload: "HALO 128 words",
-        slowdown: e_without / e_with,
-    });
-
-    // 4. memory bandwidth: STREAM triad per task
-    let nm_with = NodeModel::new(base.clone());
-    let nm_without = NodeModel::new(with_xt3_memory(&base));
-    let w = Workload::StreamTriad { n: 4_000_000 };
-    let s_with = nm_with.time(&w, ExecMode::Vn, 1).as_secs();
-    let s_without = nm_without.time(&w, ExecMode::Vn, 1).as_secs();
-    out.push(Ablation {
-        feature: "13.6 GB/s memory (vs 6.4)",
-        workload: "STREAM triad",
-        slowdown: s_without / s_with,
-    });
-
-    // 5. double hummer: DGEMM per task
-    let nm_scalar = NodeModel::new(without_double_hummer(&base));
-    let d = Workload::Dgemm { n: 1500 };
-    let g_with = nm_with.time(&d, ExecMode::Vn, 1).as_secs();
-    let g_without = nm_scalar.time(&d, ExecMode::Vn, 1).as_secs();
-    out.push(Ablation {
-        feature: "Double Hummer FPU",
-        workload: "DGEMM n=1500",
-        slowdown: g_without / g_with,
-    });
-
-    out
+    type Unit<'a> = Box<dyn Fn() -> Ablation + Sync + 'a>;
+    let units: Vec<Unit<'_>> = vec![
+        // 1. collective tree: Allreduce latency at 32 KiB
+        Box::new(|| {
+            let t_with = imb_allreduce(&base, ExecMode::Vn, ranks, 32 * 1024, DType::F64).usec;
+            let t_without =
+                imb_allreduce(&without_tree(&base), ExecMode::Vn, ranks, 32 * 1024, DType::F64)
+                    .usec;
+            Ablation {
+                feature: "collective tree",
+                workload: "Allreduce 32KiB",
+                slowdown: t_without / t_with,
+            }
+        }),
+        // ... and Bcast
+        Box::new(|| {
+            let b_with = imb_bcast(&base, ExecMode::Vn, ranks, 32 * 1024).usec;
+            let b_without = imb_bcast(&without_tree(&base), ExecMode::Vn, ranks, 32 * 1024).usec;
+            Ablation {
+                feature: "collective tree",
+                workload: "Bcast 32KiB",
+                slowdown: b_without / b_with,
+            }
+        }),
+        // ... and end-to-end POP (the barotropic solver leans on it)
+        Box::new(|| {
+            let syd_with = pop_run(&base, ExecMode::Vn, ranks, 1, &pop_cfg).syd;
+            let syd_without = pop_run(&without_tree(&base), ExecMode::Vn, ranks, 1, &pop_cfg).syd;
+            Ablation {
+                feature: "collective tree",
+                workload: "POP 0.1deg (SYD)",
+                slowdown: syd_with / syd_without,
+            }
+        }),
+        // 2. adaptive routing: bandwidth-bound HALO
+        Box::new(|| {
+            let h_with = halo_run(&base, ExecMode::Vn, Mapping::txyz(), &halo_cfg);
+            let h_without =
+                halo_run(&without_adaptive_routing(&base), ExecMode::Vn, Mapping::txyz(), &halo_cfg);
+            Ablation {
+                feature: "adaptive routing",
+                workload: "HALO 32768 words",
+                slowdown: h_without / h_with,
+            }
+        }),
+        // 3. eager threshold: mid-size halos forced into rendezvous
+        Box::new(|| {
+            let e_with = halo_run(&base, ExecMode::Vn, Mapping::txyz(), &mid_cfg);
+            let e_without =
+                halo_run(&with_tiny_eager(&base), ExecMode::Vn, Mapping::txyz(), &mid_cfg);
+            Ablation {
+                feature: "eager protocol window",
+                workload: "HALO 128 words",
+                slowdown: e_without / e_with,
+            }
+        }),
+        // 4. memory bandwidth: STREAM triad per task
+        Box::new(|| {
+            let nm_with = NodeModel::new(base.clone());
+            let nm_without = NodeModel::new(with_xt3_memory(&base));
+            let w = Workload::StreamTriad { n: 4_000_000 };
+            let s_with = nm_with.time(&w, ExecMode::Vn, 1).as_secs();
+            let s_without = nm_without.time(&w, ExecMode::Vn, 1).as_secs();
+            Ablation {
+                feature: "13.6 GB/s memory (vs 6.4)",
+                workload: "STREAM triad",
+                slowdown: s_without / s_with,
+            }
+        }),
+        // 5. double hummer: DGEMM per task
+        Box::new(|| {
+            let nm_with = NodeModel::new(base.clone());
+            let nm_scalar = NodeModel::new(without_double_hummer(&base));
+            let d = Workload::Dgemm { n: 1500 };
+            let g_with = nm_with.time(&d, ExecMode::Vn, 1).as_secs();
+            let g_without = nm_scalar.time(&d, ExecMode::Vn, 1).as_secs();
+            Ablation {
+                feature: "Double Hummer FPU",
+                workload: "DGEMM n=1500",
+                slowdown: g_without / g_with,
+            }
+        }),
+    ];
+    parmap(&units, |u| u())
 }
 
 /// Render the ablations as a table.

@@ -21,7 +21,9 @@ pub mod ablations;
 pub mod experiment;
 pub mod paper;
 pub mod report;
+pub mod runner;
 
 pub use ablations::{ablation_table, run_ablations, Ablation};
 pub use experiment::{run_experiment, Artifact, ExperimentId, Scale};
 pub use report::{Figure, Series, Table};
+pub use runner::{jobs, parmap, set_jobs};

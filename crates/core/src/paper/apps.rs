@@ -2,6 +2,7 @@
 
 use crate::experiment::Scale;
 use crate::report::Figure;
+use crate::runner::parmap;
 use hpcsim_apps as apps;
 use hpcsim_machine::registry::{bluegene_l, bluegene_p, xt3, xt4_dc, xt4_qc};
 use hpcsim_machine::ExecMode;
@@ -17,20 +18,41 @@ pub fn fig4(scale: Scale) -> Vec<Figure> {
     procs.dedup();
     let cfg = apps::PopConfig::default();
 
-    let mut a = Figure::new("Fig 4(a): POP total performance on BG/P", "processes", "SYD");
-    for (label, mode, chron) in [
+    // scenario set: every POP run in the four panels, in consumption
+    // order; `chron: None` means "use the default config untouched"
+    let machines = [&bgp, &xt];
+    let series_a = [
         ("VN, ChronGear", ExecMode::Vn, true),
         ("VN, standard CG", ExecMode::Vn, false),
         ("DUAL, ChronGear", ExecMode::Dual, true),
         ("SMP, ChronGear", ExecMode::Smp, true),
-    ] {
-        let pts: Vec<(f64, f64)> = procs
-            .iter()
-            .map(|&p| {
-                let c = apps::PopConfig { chron_gear: chron, ..cfg.clone() };
-                (p as f64, apps::pop_run(&bgp, mode, p, 1, &c).syd)
-            })
-            .collect();
+    ];
+    let mut points: Vec<(usize, ExecMode, Option<bool>, usize)> = Vec::new();
+    for &(_, mode, chron) in &series_a {
+        for &p in &procs {
+            points.push((0, mode, Some(chron), p));
+        }
+    }
+    for &p in &procs {
+        points.push((0, ExecMode::Vn, None, p));
+    }
+    for mi in 0..machines.len() {
+        for &p in &procs {
+            points.push((mi, ExecMode::Vn, None, p));
+        }
+    }
+    let results = parmap(&points, |&(mi, mode, chron, p)| match chron {
+        Some(ch) => {
+            apps::pop_run(machines[mi], mode, p, 1, &apps::PopConfig { chron_gear: ch, ..cfg.clone() })
+        }
+        None => apps::pop_run(machines[mi], mode, p, 1, &cfg),
+    });
+    let mut it = results.into_iter();
+
+    let mut a = Figure::new("Fig 4(a): POP total performance on BG/P", "processes", "SYD");
+    for (label, _, _) in series_a {
+        let pts: Vec<(f64, f64)> =
+            procs.iter().map(|&p| (p as f64, it.next().unwrap().syd)).collect();
         a.push_series(label, pts);
     }
 
@@ -43,7 +65,7 @@ pub fn fig4(scale: Scale) -> Vec<Figure> {
     let mut bt = Vec::new();
     let mut bar = Vec::new();
     for &p in &procs {
-        let r = apps::pop_run(&bgp, ExecMode::Vn, p, 1, &cfg);
+        let r = it.next().unwrap();
         bc.push((p as f64, r.baroclinic_s));
         bt.push((p as f64, r.barotropic_s));
         bar.push((p as f64, r.barrier_s));
@@ -58,12 +80,12 @@ pub fn fig4(scale: Scale) -> Vec<Figure> {
         "processes",
         "seconds per simulated day",
     );
-    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4")] {
+    for label in ["BG/P", "XT4"] {
         let mut syd = Vec::new();
         let mut bc = Vec::new();
         let mut bt = Vec::new();
         for &p in &procs {
-            let r = apps::pop_run(machine, ExecMode::Vn, p, 1, &cfg);
+            let r = it.next().unwrap();
             syd.push((p as f64, r.syd));
             bc.push((p as f64, r.baroclinic_s));
             bt.push((p as f64, r.barotropic_s));
@@ -84,48 +106,67 @@ pub fn fig5(scale: Scale) -> Vec<Figure> {
     let mut core_counts = core_counts;
     core_counts.dedup();
 
-    let sweep = |machine: &hpcsim_machine::MachineSpec,
-                 cfg: &apps::CamConfig,
-                 hybrid: bool|
-     -> Vec<(f64, f64)> {
-        core_counts
-            .iter()
-            .map(|&cores| {
-                let r = if hybrid {
-                    let threads = machine.cores_per_node.min(4);
-                    apps::cam_run(
-                        machine,
-                        ExecMode::Smp,
-                        (cores / threads as usize).max(1),
-                        threads,
-                        cfg,
-                    )
-                } else {
-                    apps::cam_run(machine, ExecMode::Vn, cores, 1, cfg)
-                };
-                (cores as f64, r.years_per_day)
-            })
-            .collect()
+    // scenario set: one sweep per (machine, dycore config, MPI-vs-hybrid)
+    // triple, listed in the exact order the four panels consume them
+    let machines = [bgp, xt3(), xt4_qc()];
+    let cfgs = [
+        apps::CamConfig::t42(),
+        apps::CamConfig::t85(),
+        apps::CamConfig::fv_2deg(),
+        apps::CamConfig::fv_half_deg(),
+    ];
+    let sweeps: [(usize, usize, bool); 13] = [
+        (0, 0, false), (0, 0, true), (0, 1, false), (0, 1, true), // (a)
+        (0, 2, true), (0, 3, true), (0, 2, false),                // (b)
+        (0, 1, true), (0, 2, true),                               // (c,d) BG/P
+        (1, 1, true), (1, 2, true),                               // (c,d) XT3
+        (2, 1, true), (2, 2, true),                               // (c,d) XT4
+    ];
+    let mut points: Vec<(usize, usize, bool, usize)> = Vec::new();
+    for &(mi, ci, hybrid) in &sweeps {
+        for &cores in &core_counts {
+            points.push((mi, ci, hybrid, cores));
+        }
+    }
+    let values = parmap(&points, |&(mi, ci, hybrid, cores)| {
+        let machine = &machines[mi];
+        let r = if hybrid {
+            let threads = machine.cores_per_node.min(4);
+            apps::cam_run(
+                machine,
+                ExecMode::Smp,
+                (cores / threads as usize).max(1),
+                threads,
+                &cfgs[ci],
+            )
+        } else {
+            apps::cam_run(machine, ExecMode::Vn, cores, 1, &cfgs[ci])
+        };
+        r.years_per_day
+    });
+    let mut chunks = values.chunks(core_counts.len());
+    let mut next = move || -> Vec<(f64, f64)> {
+        core_counts.iter().zip(chunks.next().unwrap()).map(|(&c, &y)| (c as f64, y)).collect()
     };
 
     let mut a = Figure::new("Fig 5(a): CAM spectral on BG/P", "cores", "simulated years/day");
-    for cfg in [apps::CamConfig::t42(), apps::CamConfig::t85()] {
-        a.push_series(format!("{} MPI", cfg.name), sweep(&bgp, &cfg, false));
-        a.push_series(format!("{} hybrid", cfg.name), sweep(&bgp, &cfg, true));
+    for ci in [0usize, 1] {
+        a.push_series(format!("{} MPI", cfgs[ci].name), next());
+        a.push_series(format!("{} hybrid", cfgs[ci].name), next());
     }
 
     let mut b = Figure::new("Fig 5(b): CAM finite-volume on BG/P", "cores", "simulated years/day");
-    for cfg in [apps::CamConfig::fv_2deg(), apps::CamConfig::fv_half_deg()] {
-        b.push_series(format!("{} hybrid", cfg.name), sweep(&bgp, &cfg, true));
+    for ci in [2usize, 3] {
+        b.push_series(format!("{} hybrid", cfgs[ci].name), next());
     }
-    b.push_series("FV 1.9x2.5 L26 MPI", sweep(&bgp, &apps::CamConfig::fv_2deg(), false));
+    b.push_series("FV 1.9x2.5 L26 MPI", next());
 
     let mut c = Figure::new("Fig 5(c): CAM T85 across machines", "cores", "simulated years/day");
     let mut d =
         Figure::new("Fig 5(d): CAM FV 1.9x2.5 across machines", "cores", "simulated years/day");
-    for (machine, label) in [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_qc(), "XT4")] {
-        c.push_series(label, sweep(&machine, &apps::CamConfig::t85(), true));
-        d.push_series(label, sweep(&machine, &apps::CamConfig::fv_2deg(), true));
+    for label in ["BG/P", "XT3", "XT4"] {
+        c.push_series(label, next());
+        d.push_series(label, next());
     }
     vec![a, b, c, d]
 }
@@ -138,21 +179,27 @@ pub fn fig6(scale: Scale) -> Vec<Figure> {
     let mut procs = procs;
     procs.dedup();
     let cfg = apps::S3dConfig::default();
+    let machines = [bluegene_p(), xt3(), xt4_dc(), xt4_qc()];
+    let mut points: Vec<(usize, usize)> = Vec::new();
+    for mi in 0..machines.len() {
+        for &p in &procs {
+            points.push((mi, p));
+        }
+    }
+    let values = parmap(&points, |&(mi, p)| {
+        apps::s3d_run(&machines[mi], ExecMode::Vn, p, &cfg).core_hours_per_point_step
+    });
     let mut f = Figure::new(
         "Fig 6: S3D weak scaling (50^3 points/rank)",
         "processes",
         "core-hours per grid point per step",
     );
-    for (machine, label) in
-        [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_dc(), "XT4/DC"), (xt4_qc(), "XT4/QC")]
+    for (label, chunk) in
+        ["BG/P", "XT3", "XT4/DC", "XT4/QC"].iter().zip(values.chunks(procs.len()))
     {
-        let pts: Vec<(f64, f64)> = procs
-            .iter()
-            .map(|&p| {
-                (p as f64, apps::s3d_run(&machine, ExecMode::Vn, p, &cfg).core_hours_per_point_step)
-            })
-            .collect();
-        f.push_series(label, pts);
+        let pts: Vec<(f64, f64)> =
+            procs.iter().zip(chunk).map(|(&p, &v)| (p as f64, v)).collect();
+        f.push_series(*label, pts);
     }
     vec![f]
 }
@@ -167,26 +214,51 @@ pub fn fig7(scale: Scale) -> Vec<Figure> {
     let mut b1_procs = b1_procs;
     b1_procs.dedup();
 
+    let b3_procs: Vec<usize> = b1_procs.iter().map(|&p| (p / 64 * 64).max(64)).collect::<Vec<_>>();
+    let mut b3 = b3_procs;
+    b3.dedup();
+    let weak_procs: Vec<usize> = [64usize, 128, 256, 512, 1024]
+        .iter()
+        .map(|&p| scale.ranks(p).max(64) / 64 * 64)
+        .collect();
+    let mut weak = weak_procs;
+    weak.dedup();
+
+    // scenario set across all three panels; the worker returns raw
+    // seconds/step and the panels invert where they plot steps/second
+    let machines = [bluegene_p(), xt4_qc(), bluegene_l(), xt4_dc()];
+    let cfgs = [
+        apps::GyroConfig::b1_std(),
+        apps::GyroConfig::b3_gtc(),
+        apps::GyroConfig { problem: apps::GyroProblem::B3GtcModified, steps: 4 },
+    ];
+    let mut points: Vec<(usize, usize, usize)> = Vec::new();
+    for mi in [0usize, 1] {
+        for &p in &b1_procs {
+            points.push((mi, 0, p));
+        }
+        for &p in &b3 {
+            points.push((mi, 1, p));
+        }
+    }
+    for mi in [0usize, 2, 3] {
+        for &p in &weak {
+            points.push((mi, 2, p));
+        }
+    }
+    let secs = parmap(&points, |&(mi, ci, p)| {
+        apps::gyro_run(&machines[mi], p, &cfgs[ci]).seconds_per_step
+    });
+    let mut it = secs.into_iter();
+
     let mut a = Figure::new("Fig 7(a): GYRO B1-std strong scaling", "processes", "steps/second");
     let mut b = Figure::new("Fig 7(b): GYRO B3-gtc strong scaling", "processes", "steps/second");
-    for (machine, label) in [(bluegene_p(), "BG/P"), (xt4_qc(), "XT4")] {
-        let pts: Vec<(f64, f64)> = b1_procs
-            .iter()
-            .map(|&p| {
-                (p as f64, 1.0 / apps::gyro_run(&machine, p, &apps::GyroConfig::b1_std()).seconds_per_step)
-            })
-            .collect();
+    for label in ["BG/P", "XT4"] {
+        let pts: Vec<(f64, f64)> =
+            b1_procs.iter().map(|&p| (p as f64, 1.0 / it.next().unwrap())).collect();
         a.push_series(label, pts);
-        let b3_procs: Vec<usize> =
-            b1_procs.iter().map(|&p| (p / 64 * 64).max(64)).collect::<Vec<_>>();
-        let mut b3 = b3_procs.clone();
-        b3.dedup();
-        let pts: Vec<(f64, f64)> = b3
-            .iter()
-            .map(|&p| {
-                (p as f64, 1.0 / apps::gyro_run(&machine, p, &apps::GyroConfig::b3_gtc()).seconds_per_step)
-            })
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            b3.iter().map(|&p| (p as f64, 1.0 / it.next().unwrap())).collect();
         b.push_series(label, pts);
     }
 
@@ -195,18 +267,9 @@ pub fn fig7(scale: Scale) -> Vec<Figure> {
         "processes",
         "seconds per step",
     );
-    let weak_procs: Vec<usize> = [64usize, 128, 256, 512, 1024]
-        .iter()
-        .map(|&p| scale.ranks(p).max(64) / 64 * 64)
-        .collect();
-    let mut weak = weak_procs;
-    weak.dedup();
-    let cfg = apps::GyroConfig { problem: apps::GyroProblem::B3GtcModified, steps: 4 };
-    for (machine, label) in [(bluegene_p(), "BG/P"), (bluegene_l(), "BG/L"), (xt4_dc(), "XT")] {
-        let pts: Vec<(f64, f64)> = weak
-            .iter()
-            .map(|&p| (p as f64, apps::gyro_run(&machine, p, &cfg).seconds_per_step))
-            .collect();
+    for label in ["BG/P", "BG/L", "XT"] {
+        let pts: Vec<(f64, f64)> =
+            weak.iter().map(|&p| (p as f64, it.next().unwrap())).collect();
         c.push_series(label, pts);
     }
     vec![a, b, c]
@@ -220,17 +283,29 @@ pub fn fig8(scale: Scale) -> Vec<Figure> {
     let mut procs = procs;
     procs.dedup();
 
+    let cfgs = [apps::MdConfig::lammps_rub(), apps::MdConfig::pmemd_rub()];
+    let machines = [bluegene_p(), xt3(), xt4_dc()];
+    let mut points: Vec<(usize, usize, usize)> = Vec::new();
+    for ci in 0..cfgs.len() {
+        for mi in 0..machines.len() {
+            for &p in &procs {
+                points.push((ci, mi, p));
+            }
+        }
+    }
+    let values =
+        parmap(&points, |&(ci, mi, p)| apps::md_run(&machines[mi], p, &cfgs[ci]).ns_per_day);
+    let mut it = values.into_iter();
+
     let mut panels = Vec::new();
-    for (cfg, title) in [
-        (apps::MdConfig::lammps_rub(), "Fig 8(a): LAMMPS, RuBisCO 290,220 atoms"),
-        (apps::MdConfig::pmemd_rub(), "Fig 8(b): AMBER/PMEMD, RuBisCO 290,220 atoms"),
+    for title in [
+        "Fig 8(a): LAMMPS, RuBisCO 290,220 atoms",
+        "Fig 8(b): AMBER/PMEMD, RuBisCO 290,220 atoms",
     ] {
         let mut f = Figure::new(title, "processes", "ns/day");
-        for (machine, label) in [(bluegene_p(), "BG/P"), (xt3(), "XT3"), (xt4_dc(), "XT4/DC")] {
-            let pts: Vec<(f64, f64)> = procs
-                .iter()
-                .map(|&p| (p as f64, apps::md_run(&machine, p, &cfg).ns_per_day))
-                .collect();
+        for label in ["BG/P", "XT3", "XT4/DC"] {
+            let pts: Vec<(f64, f64)> =
+                procs.iter().map(|&p| (p as f64, it.next().unwrap())).collect();
             f.push_series(label, pts);
         }
         panels.push(f);

@@ -2,6 +2,7 @@
 
 use crate::experiment::Scale;
 use crate::report::{Figure, Table};
+use crate::runner::parmap;
 use hpcsim_engine::units::{fmt_bytes_bin, fmt_flops};
 use hpcsim_hpcc as hpcc;
 use hpcsim_machine::registry::{all_machines, bluegene_p, xt4_qc};
@@ -51,39 +52,49 @@ pub fn table2(scale: Scale) -> Table {
     let ranks = scale.ranks(4096);
     let bgp = bluegene_p();
     let xt = xt4_qc();
+    use hpcc::epkernels::{dgemm_rate, fft_rate, ra_rate, stream_triad_rate, EpMode};
+    // Each row is one probe; every (probe, machine) cell is an
+    // independent simulation point fanned out over the worker pool.
+    type Probe = Box<dyn Fn(&MachineSpec) -> f64 + Sync>;
+    let probes: Vec<(&str, Probe)> = vec![
+        ("SP DGEMM (GF/s)", Box::new(|m| dgemm_rate(m, EpMode::Single, 2000))),
+        ("EP DGEMM (GF/s)", Box::new(|m| dgemm_rate(m, EpMode::Parallel, 2000))),
+        ("SP STREAM triad (GB/s)", Box::new(|m| stream_triad_rate(m, EpMode::Single, 4_000_000))),
+        ("EP STREAM triad (GB/s)", Box::new(|m| stream_triad_rate(m, EpMode::Parallel, 4_000_000))),
+        ("EP FFT (GF/s)", Box::new(|m| fft_rate(m, EpMode::Parallel, 1 << 20))),
+        ("EP RandomAccess (GUP/s)", Box::new(|m| ra_rate(m, EpMode::Parallel, 1 << 28))),
+        ("Ping-pong latency (us)", Box::new(|m| hpcc::pingpong(m, 8, 1 << 21).0 * 1e6)),
+        ("Ping-pong bandwidth (GB/s)", Box::new(|m| hpcc::pingpong(m, 8, 1 << 21).1 / 1e9)),
+        (
+            "Random-ring latency (us)",
+            Box::new(move |m| {
+                hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).latency_s * 1e6
+            }),
+        ),
+        (
+            "Random-ring BW (MB/s)",
+            Box::new(move |m| {
+                hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).bandwidth / 1e6
+            }),
+        ),
+    ];
+    let machines = [&bgp, &xt];
+    let points: Vec<(usize, usize)> = (0..probes.len())
+        .flat_map(|p| (0..machines.len()).map(move |m| (p, m)))
+        .collect();
+    let values = parmap(&points, |&(p, m)| (probes[p].1)(machines[m]));
+
     let mut t = Table::new(
         format!("Table 2: HPCC SP/EP and communication tests ({ranks} processes, VN mode)"),
         &["Test", "BG/P", "XT4/QC"],
     );
-    use hpcc::epkernels::{dgemm_rate, fft_rate, ra_rate, stream_triad_rate, EpMode};
-    let pair = |f: &dyn Fn(&MachineSpec) -> f64, unit: &str| -> (String, String) {
-        (format!("{:.2} {unit}", f(&bgp)), format!("{:.2} {unit}", f(&xt)))
-    };
-    let mut add = |name: &str, (b, x): (String, String)| {
-        t.push_row(vec![name.to_string(), b, x]);
-    };
-    add("SP DGEMM (GF/s)", pair(&|m| dgemm_rate(m, EpMode::Single, 2000), ""));
-    add("EP DGEMM (GF/s)", pair(&|m| dgemm_rate(m, EpMode::Parallel, 2000), ""));
-    add("SP STREAM triad (GB/s)", pair(&|m| stream_triad_rate(m, EpMode::Single, 4_000_000), ""));
-    add("EP STREAM triad (GB/s)", pair(&|m| stream_triad_rate(m, EpMode::Parallel, 4_000_000), ""));
-    add("EP FFT (GF/s)", pair(&|m| fft_rate(m, EpMode::Parallel, 1 << 20), ""));
-    add("EP RandomAccess (GUP/s)", pair(&|m| ra_rate(m, EpMode::Parallel, 1 << 28), ""));
-    add(
-        "Ping-pong latency (us)",
-        pair(&|m| hpcc::pingpong(m, 8, 1 << 21).0 * 1e6, ""),
-    );
-    add(
-        "Ping-pong bandwidth (GB/s)",
-        pair(&|m| hpcc::pingpong(m, 8, 1 << 21).1 / 1e9, ""),
-    );
-    add(
-        "Random-ring latency (us)",
-        pair(&|m| hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).latency_s * 1e6, ""),
-    );
-    add(
-        "Random-ring BW (MB/s)",
-        pair(&|m| hpcc::random_ring(m, ExecMode::Vn, ranks, 8, 1 << 21, 1).bandwidth / 1e6, ""),
-    );
+    for (p, (name, _)) in probes.iter().enumerate() {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.2} ", values[p * 2]),
+            format!("{:.2} ", values[p * 2 + 1]),
+        ]);
+    }
     t
 }
 
@@ -107,31 +118,49 @@ pub fn fig1(scale: Scale) -> Vec<Figure> {
     let mut ptr_fig = Figure::new("Fig 1(c): PTRANS performance", "processes", "GB/s");
     let mut ra_fig = Figure::new("Fig 1(d): RandomAccess performance", "processes", "GUP/s");
 
-    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4/QC")] {
+    // scenario set: (machine, procs, kernel) — every point independent
+    let machines = [(&bgp, "BG/P"), (&xt, "XT4/QC")];
+    let points: Vec<(usize, usize, usize)> = (0..machines.len())
+        .flat_map(|mi| procs.iter().flat_map(move |&p| (0..4).map(move |k| (mi, p, k))))
+        .collect();
+    let values = parmap(&points, |&(mi, p, k)| {
+        let machine = machines[mi].0;
+        match k {
+            0 => {
+                let n = hpcc::hpl_problem_size(machine, p, ExecMode::Vn, 0.8);
+                let cfg = hpcc::HplConfig { n, nb: 144, grid: Grid2D::near_square(p), samples: 6 };
+                hpcc::hpl_run(machine, ExecMode::Vn, &cfg).gflops
+            }
+            1 => {
+                let nf = hpcc::fft::fft_problem_size(machine, p, ExecMode::Vn, 0.3);
+                hpcc::fft_run(machine, ExecMode::Vn, p, nf).gflops
+            }
+            2 => {
+                // PTRANS matrix ~ sqrt of HPL's footprint share
+                let n = hpcc::hpl_problem_size(machine, p, ExecMode::Vn, 0.8);
+                let placement = if machine.id.is_bluegene() {
+                    Placement::Compact
+                } else {
+                    Placement::Fragmented { spread: 1.5, seed: p as u64 }
+                };
+                hpcc::ptrans_run(machine, ExecMode::Vn, p, n / 2, placement).gbps
+            }
+            _ => hpcc::ra_run(machine, ExecMode::Vn, p, 1 << 26, 1 << 16).gups,
+        }
+    });
+
+    let mut it = values.into_iter();
+    for (_, label) in machines {
         let mut hpl_pts = Vec::new();
         let mut fft_pts = Vec::new();
         let mut ptr_pts = Vec::new();
         let mut ra_pts = Vec::new();
         for &p in &procs {
-            let n = hpcc::hpl_problem_size(machine, p, ExecMode::Vn, 0.8);
-            let cfg = hpcc::HplConfig { n, nb: 144, grid: Grid2D::near_square(p), samples: 6 };
-            hpl_pts.push((p as f64, hpcc::hpl_run(machine, ExecMode::Vn, &cfg).gflops));
-            let nf = hpcc::fft::fft_problem_size(machine, p, ExecMode::Vn, 0.3);
-            fft_pts.push((p as f64, hpcc::fft_run(machine, ExecMode::Vn, p, nf).gflops));
-            // PTRANS matrix ~ sqrt of HPL's footprint share
-            let placement = if machine.id.is_bluegene() {
-                Placement::Compact
-            } else {
-                Placement::Fragmented { spread: 1.5, seed: p as u64 }
-            };
-            ptr_pts.push((
-                p as f64,
-                hpcc::ptrans_run(machine, ExecMode::Vn, p, n / 2, placement).gbps,
-            ));
-            ra_pts.push((
-                p as f64,
-                hpcc::ra_run(machine, ExecMode::Vn, p, 1 << 26, 1 << 16).gups,
-            ));
+            let x = p as f64;
+            hpl_pts.push((x, it.next().unwrap()));
+            fft_pts.push((x, it.next().unwrap()));
+            ptr_pts.push((x, it.next().unwrap()));
+            ra_pts.push((x, it.next().unwrap()));
         }
         hpl_fig.push_series(label, hpl_pts);
         fft_fig.push_series(label, fft_pts);
@@ -155,41 +184,46 @@ pub fn fig2(scale: Scale) -> Vec<Figure> {
     ] {
         let ranks = scale.ranks(paper_ranks);
         let grid = Grid2D::near_square(ranks);
+        let points: Vec<(hpcc::HaloProtocol, u64)> = hpcc::HaloProtocol::all()
+            .into_iter()
+            .flat_map(|proto| words.iter().map(move |&w| (proto, w)))
+            .collect();
+        let times = parmap(&points, |&(proto, w)| {
+            let cfg = hpcc::HaloConfig { grid, words: w, protocol: proto, reps: 2 };
+            hpcc::halo_run(&m, mode, Mapping::txyz(), &cfg) * 1e6
+        });
         let mut fig = Figure::new(title, "halo words", "usec per exchange");
-        for proto in hpcc::HaloProtocol::all() {
-            let pts: Vec<(f64, f64)> = words
-                .iter()
-                .map(|&w| {
-                    let cfg = hpcc::HaloConfig { grid, words: w, protocol: proto, reps: 2 };
-                    (w as f64, hpcc::halo_run(&m, mode, Mapping::txyz(), &cfg) * 1e6)
-                })
-                .collect();
+        for (proto, chunk) in hpcc::HaloProtocol::all().into_iter().zip(times.chunks(words.len()))
+        {
+            let pts: Vec<(f64, f64)> =
+                words.iter().zip(chunk).map(|(&w, &t)| (w as f64, t)).collect();
             fig.push_series(proto.label(), pts);
         }
         panels.push(fig);
     }
 
-    // (c,d) mappings at 4096 and 8192 cores, VN
+    // (c,d) mappings at 4096 and 8192 cores, VN. One scenario per halo
+    // size replays a single trace under all mappings (the trace doesn't
+    // depend on the mapping), then the per-mapping columns become series.
     for (title, paper_ranks) in
         [("Fig 2(c): mappings, 4096 cores", 4096usize), ("Fig 2(d): mappings, 8192 cores", 8192)]
     {
         let ranks = scale.ranks(paper_ranks);
         let grid = Grid2D::near_square(ranks);
+        let mappings: Vec<Mapping> = Mapping::fig2_set().iter().map(|&(_, m2)| m2).collect();
+        let per_word = parmap(&words, |&w| {
+            let cfg =
+                hpcc::HaloConfig { grid, words: w, protocol: hpcc::HaloProtocol::IrecvIsend, reps: 2 };
+            hpcc::halo_run_mapped(&m, ExecMode::Vn, &mappings, &cfg)
+        });
         let mut fig = Figure::new(title, "halo words", "usec per exchange");
-        for (name, mapping) in Mapping::fig2_set() {
+        for (i, (name, _)) in Mapping::fig2_set().iter().enumerate() {
             let pts: Vec<(f64, f64)> = words
                 .iter()
-                .map(|&w| {
-                    let cfg = hpcc::HaloConfig {
-                        grid,
-                        words: w,
-                        protocol: hpcc::HaloProtocol::IrecvIsend,
-                        reps: 2,
-                    };
-                    (w as f64, hpcc::halo_run(&m, ExecMode::Vn, mapping, &cfg) * 1e6)
-                })
+                .zip(&per_word)
+                .map(|(&w, times)| (w as f64, times[i] * 1e6))
                 .collect();
-            fig.push_series(name, pts);
+            fig.push_series(name.clone(), pts);
         }
         panels.push(fig);
     }
@@ -203,23 +237,20 @@ pub fn fig2(scale: Scale) -> Vec<Figure> {
         ),
         ("Fig 2(f): grid sizes, SMP mode", ExecMode::Smp, vec![256, 1024, 2048]),
     ] {
+        let mapping = if mode == ExecMode::Smp { Mapping::xyzt() } else { Mapping::txyz() };
+        let grids2d: Vec<Grid2D> =
+            grids.iter().map(|&paper_ranks| Grid2D::near_square(scale.ranks(paper_ranks))).collect();
+        let points: Vec<(Grid2D, u64)> =
+            grids2d.iter().flat_map(|&g| words.iter().map(move |&w| (g, w))).collect();
+        let times = parmap(&points, |&(g, w)| {
+            let cfg =
+                hpcc::HaloConfig { grid: g, words: w, protocol: hpcc::HaloProtocol::IrecvIsend, reps: 2 };
+            hpcc::halo_run(&m, mode, mapping, &cfg) * 1e6
+        });
         let mut fig = Figure::new(title, "halo words", "usec per exchange");
-        for paper_ranks in grids {
-            let ranks = scale.ranks(paper_ranks);
-            let grid = Grid2D::near_square(ranks);
-            let mapping = if mode == ExecMode::Smp { Mapping::xyzt() } else { Mapping::txyz() };
-            let pts: Vec<(f64, f64)> = words
-                .iter()
-                .map(|&w| {
-                    let cfg = hpcc::HaloConfig {
-                        grid,
-                        words: w,
-                        protocol: hpcc::HaloProtocol::IrecvIsend,
-                        reps: 2,
-                    };
-                    (w as f64, hpcc::halo_run(&m, mode, mapping, &cfg) * 1e6)
-                })
-                .collect();
+        for (grid, chunk) in grids2d.iter().zip(times.chunks(words.len())) {
+            let pts: Vec<(f64, f64)> =
+                words.iter().zip(chunk).map(|(&w, &t)| (w as f64, t)).collect();
             fig.push_series(format!("{}x{}", grid.rows, grid.cols), pts);
         }
         panels.push(fig);
@@ -256,41 +287,57 @@ pub fn fig3(scale: Scale) -> Vec<Figure> {
     );
     let mut d = Figure::new("Fig 3(d): Bcast latency vs process count (32KiB)", "processes", "usec");
 
-    let series = |machine: &MachineSpec, dtype: DType| -> Vec<(f64, f64)> {
-        sizes
-            .iter()
-            .map(|&s| {
-                (s as f64, hpcc::imb_allreduce(machine, ExecMode::Vn, fixed_ranks, s, dtype).usec)
-            })
-            .collect()
-    };
-    a.push_series("BG/P (double)", series(&bgp, DType::F64));
-    a.push_series("BG/P (single)", series(&bgp, DType::F32));
-    a.push_series("XT4/QC (double)", series(&xt, DType::F64));
+    // scenario set: every (collective, machine, ranks, bytes, dtype)
+    // point, built in the exact order the panels consume them
+    #[derive(Clone, Copy)]
+    enum ImbPoint {
+        Allreduce { mi: usize, ranks: usize, bytes: u64, dtype: DType },
+        Bcast { mi: usize, ranks: usize, bytes: u64 },
+    }
+    let machines = [&bgp, &xt];
+    let mut points: Vec<ImbPoint> = Vec::new();
+    for (mi, dtype) in [(0, DType::F64), (0, DType::F32), (1, DType::F64)] {
+        for &s in &sizes {
+            points.push(ImbPoint::Allreduce { mi, ranks: fixed_ranks, bytes: s, dtype });
+        }
+    }
+    for (mi, dtype) in [(0, DType::F64), (0, DType::F32), (1, DType::F64)] {
+        for &p in &proc_counts {
+            points.push(ImbPoint::Allreduce { mi, ranks: p, bytes: fixed_bytes, dtype });
+        }
+    }
+    for mi in 0..machines.len() {
+        for &s in &sizes {
+            points.push(ImbPoint::Bcast { mi, ranks: fixed_ranks, bytes: s });
+        }
+        for &p in &proc_counts {
+            points.push(ImbPoint::Bcast { mi, ranks: p, bytes: fixed_bytes });
+        }
+    }
+    let values = parmap(&points, |&pt| match pt {
+        ImbPoint::Allreduce { mi, ranks, bytes, dtype } => {
+            hpcc::imb_allreduce(machines[mi], ExecMode::Vn, ranks, bytes, dtype).usec
+        }
+        ImbPoint::Bcast { mi, ranks, bytes } => {
+            hpcc::imb_bcast(machines[mi], ExecMode::Vn, ranks, bytes).usec
+        }
+    });
 
-    let scan = |machine: &MachineSpec, dtype: DType| -> Vec<(f64, f64)> {
-        proc_counts
-            .iter()
-            .map(|&p| {
-                (p as f64, hpcc::imb_allreduce(machine, ExecMode::Vn, p, fixed_bytes, dtype).usec)
-            })
-            .collect()
+    let mut it = values.into_iter();
+    let mut next_pts = |xs: &[f64]| -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, it.next().expect("imb point"))).collect()
     };
-    b.push_series("BG/P (double)", scan(&bgp, DType::F64));
-    b.push_series("BG/P (single)", scan(&bgp, DType::F32));
-    b.push_series("XT4/QC (double)", scan(&xt, DType::F64));
-
-    for (machine, label) in [(&bgp, "BG/P"), (&xt, "XT4/QC")] {
-        let pts: Vec<(f64, f64)> = sizes
-            .iter()
-            .map(|&s| (s as f64, hpcc::imb_bcast(machine, ExecMode::Vn, fixed_ranks, s).usec))
-            .collect();
-        c.push_series(label, pts);
-        let pts: Vec<(f64, f64)> = proc_counts
-            .iter()
-            .map(|&p| (p as f64, hpcc::imb_bcast(machine, ExecMode::Vn, p, fixed_bytes).usec))
-            .collect();
-        d.push_series(label, pts);
+    let size_xs: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+    let proc_xs: Vec<f64> = proc_counts.iter().map(|&p| p as f64).collect();
+    a.push_series("BG/P (double)", next_pts(&size_xs));
+    a.push_series("BG/P (single)", next_pts(&size_xs));
+    a.push_series("XT4/QC (double)", next_pts(&size_xs));
+    b.push_series("BG/P (double)", next_pts(&proc_xs));
+    b.push_series("BG/P (single)", next_pts(&proc_xs));
+    b.push_series("XT4/QC (double)", next_pts(&proc_xs));
+    for label in ["BG/P", "XT4/QC"] {
+        c.push_series(label, next_pts(&size_xs));
+        d.push_series(label, next_pts(&proc_xs));
     }
     vec![a, b, c, d]
 }

@@ -8,6 +8,7 @@
 
 use crate::experiment::Scale;
 use crate::report::Table;
+use crate::runner::parmap;
 use hpcsim_apps as apps;
 use hpcsim_hpcc as hpcc;
 use hpcsim_machine::registry::{bluegene_p, xt4_dc, xt4_qc};
@@ -61,15 +62,6 @@ pub fn table3(scale: Scale) -> Table {
         Scale::Quick => 1024,
     };
 
-    // HPL runs for sustained flops
-    let hpl = |machine: &MachineSpec, cores: usize| {
-        let n = hpcc::hpl_problem_size(machine, cores, ExecMode::Vn, 0.7);
-        let cfg = hpcc::HplConfig { n, nb: 96, grid: Grid2D::near_square(cores), samples: 8 };
-        hpcc::hpl_run(machine, ExecMode::Vn, &cfg)
-    };
-    let hpl_b = hpl(&bgp, cores_b);
-    let hpl_x = hpl(&xt, cores_x);
-
     // Paper: iso-throughput at 12 SYD. Quick scale caps the search at
     // 4096 cores, where neither machine reaches 12 — use a target both
     // can reach so the iso-power comparison stays meaningful.
@@ -82,10 +74,29 @@ pub fn table3(scale: Scale) -> Table {
     // rows come from the quad-core system. We mirror that: SYD from
     // XT4/DC, watts from XT/QC per-core draw.
     let xt_pop = xt4_dc();
-    let pop_b = pop_syd(&bgp, cores_b.max(512));
-    let pop_x = pop_syd(&xt_pop, cores_b.max(512));
-    let iso_cores_b = cores_for_syd(&bgp, syd_target, scale);
-    let iso_cores_x = cores_for_syd(&xt_pop, syd_target, scale);
+
+    // HPL runs for sustained flops
+    let hpl = |machine: &MachineSpec, cores: usize| {
+        let n = hpcc::hpl_problem_size(machine, cores, ExecMode::Vn, 0.7);
+        let cfg = hpcc::HplConfig { n, nb: 96, grid: Grid2D::near_square(cores), samples: 8 };
+        hpcc::hpl_run(machine, ExecMode::Vn, &cfg)
+    };
+
+    // scenario set: the six expensive simulations behind the table,
+    // each a self-contained unit so the pool can run them concurrently
+    type Unit<'a> = Box<dyn Fn() -> f64 + Sync + 'a>;
+    let units: Vec<Unit<'_>> = vec![
+        Box::new(|| hpl(&bgp, cores_b).gflops),
+        Box::new(|| hpl(&xt, cores_x).gflops),
+        Box::new(|| pop_syd(&bgp, cores_b.max(512))),
+        Box::new(|| pop_syd(&xt_pop, cores_b.max(512))),
+        Box::new(|| cores_for_syd(&bgp, syd_target, scale) as f64),
+        Box::new(|| cores_for_syd(&xt_pop, syd_target, scale) as f64),
+    ];
+    let vals = parmap(&units, |u| u());
+    let (hpl_b_gflops, hpl_x_gflops) = (vals[0], vals[1]);
+    let (pop_b, pop_x) = (vals[2], vals[3]);
+    let (iso_cores_b, iso_cores_x) = (vals[4] as usize, vals[5] as usize);
 
     let mut t = Table::new(
         format!(
@@ -122,13 +133,13 @@ pub fn table3(scale: Scale) -> Table {
     ]);
     t.push_row(vec![
         "HPL Rmax (TFlop/s)".into(),
-        format!("{:.1}", hpl_b.gflops / 1e3),
-        format!("{:.1}", hpl_x.gflops / 1e3),
+        format!("{:.1}", hpl_b_gflops / 1e3),
+        format!("{:.1}", hpl_x_gflops / 1e3),
     ]);
     t.push_row(vec![
         "HPL MFlops/W".into(),
-        format!("{:.1}", pm_b.mflops_per_watt(hpl_b.gflops * 1e9, cores_b as u64, UTIL_HPL)),
-        format!("{:.1}", pm_x.mflops_per_watt(hpl_x.gflops * 1e9, cores_x as u64, UTIL_HPL)),
+        format!("{:.1}", pm_b.mflops_per_watt(hpl_b_gflops * 1e9, cores_b as u64, UTIL_HPL)),
+        format!("{:.1}", pm_x.mflops_per_watt(hpl_x_gflops * 1e9, cores_x as u64, UTIL_HPL)),
     ]);
     t.push_row(vec![
         format!("POP SYD @ {} cores", cores_b.max(512)),

@@ -1,0 +1,113 @@
+//! Deterministic parallel scenario execution.
+//!
+//! Every experiment in the battery is a pile of independent simulation
+//! points — (machine, mode, ranks, size, …) tuples, each replayed in its
+//! own `TraceSim`. The experiment functions collect those points into a
+//! declarative list and hand it to [`parmap`], which fans the points out
+//! over a worker pool and returns results **in input order**. Because
+//! each point is a pure function of its inputs and assembly order never
+//! depends on completion order, rendered artifacts are byte-identical at
+//! any worker count — the `parallel_determinism` integration test pins
+//! this for all twelve experiments.
+//!
+//! The pool size is a process-global knob ([`set_jobs`]) so the `repro`
+//! binary's `--jobs N` reaches every experiment without threading a
+//! parameter through the whole call tree.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "auto": one worker per available core.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-pool size for subsequent [`parmap`] calls. `0` restores
+/// the default (one worker per available core).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count: the last [`set_jobs`] value, or the number
+/// of available cores when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Evaluate `f` over every scenario in `items` on up to [`jobs`] worker
+/// threads; results come back in input order regardless of which worker
+/// finished first. Workers pull scenarios from a shared atomic cursor, so
+/// an expensive point at the front doesn't serialize the tail.
+pub fn parmap<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("scenario worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|o| o.expect("every scenario slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        // make early items the slowest so out-of-order completion is likely
+        let items: Vec<usize> = (0..64).collect();
+        let out = parmap(&items, |&i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(parmap(&none, |&x| x).is_empty());
+        assert_eq!(parmap(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_knob_round_trips() {
+        let before = jobs();
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+        set_jobs(if before == 0 { 0 } else { before });
+    }
+}

@@ -1,0 +1,31 @@
+//! The parallel scenario fan-out must be invisible in the artifacts:
+//! `runner::parmap` places every result by input index, so each
+//! experiment must render byte-identically whether the battery runs on
+//! one worker or many.
+//!
+//! This is the determinism guard for the whole repro pipeline — it is
+//! deliberately the only test in this file because `set_jobs` is a
+//! process-wide knob and the harness runs tests within a binary
+//! concurrently.
+
+use hpcsim_core::{run_experiment, set_jobs, ExperimentId, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+    #[test]
+    fn every_experiment_renders_identically_at_any_worker_count(jobs in 2usize..9) {
+        for id in ExperimentId::all() {
+            set_jobs(1);
+            let sequential = run_experiment(id, Scale::Quick).render();
+            set_jobs(jobs);
+            let parallel = run_experiment(id, Scale::Quick).render();
+            set_jobs(0);
+            prop_assert!(
+                sequential == parallel,
+                "{} differs between --jobs 1 and --jobs {jobs}",
+                id.slug()
+            );
+        }
+    }
+}

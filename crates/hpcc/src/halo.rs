@@ -103,6 +103,28 @@ fn record_exchange(mpi: &mut Mpi, grid: Grid2D, words: u64, protocol: HaloProtoc
     }
 }
 
+fn halo_traces(cfg: &HaloConfig) -> Vec<Vec<hpcsim_mpi::Op>> {
+    let grid = cfg.grid;
+    let (words, protocol, reps) = (cfg.words, cfg.protocol, cfg.reps);
+    TraceSim::trace_program(
+        &FnProgram(move |mpi: &mut Mpi| {
+            for round in 0..reps {
+                record_exchange(mpi, grid, words, protocol, round);
+            }
+        }),
+        cfg.grid.size(),
+        1,
+    )
+}
+
+fn halo_layout(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, ranks: usize) -> RankLayout {
+    if machine.id.is_bluegene() {
+        RankLayout::bluegene(machine, ranks, mode, mapping)
+    } else {
+        RankLayout::default_for(machine, ranks, mode)
+    }
+}
+
 /// Run a HALO experiment; returns seconds per exchange (makespan / reps).
 pub fn halo_run(
     machine: &MachineSpec,
@@ -110,21 +132,30 @@ pub fn halo_run(
     mapping: Mapping,
     cfg: &HaloConfig,
 ) -> f64 {
+    halo_run_mapped(machine, mode, &[mapping], cfg)[0]
+}
+
+/// Run one HALO experiment under several rank→processor mappings. The
+/// trace depends only on the virtual grid / words / protocol — not the
+/// mapping — so it is recorded once and replayed per mapping, which is
+/// what makes Fig 2(c,d)'s mapping sweeps cheap.
+pub fn halo_run_mapped(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mappings: &[Mapping],
+    cfg: &HaloConfig,
+) -> Vec<f64> {
     let ranks = cfg.grid.size();
-    let layout = if machine.id.is_bluegene() {
-        RankLayout::bluegene(machine, ranks, mode, mapping)
-    } else {
-        RankLayout::default_for(machine, ranks, mode)
-    };
-    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
-    let grid = cfg.grid;
-    let (words, protocol, reps) = (cfg.words, cfg.protocol, cfg.reps);
-    let res = sim.run(&FnProgram(move |mpi: &mut Mpi| {
-        for round in 0..reps {
-            record_exchange(mpi, grid, words, protocol, round);
-        }
-    }));
-    res.makespan().as_secs() / reps as f64
+    let traces = halo_traces(cfg);
+    mappings
+        .iter()
+        .map(|&mapping| {
+            let layout = halo_layout(machine, mode, mapping, ranks);
+            let mut sim =
+                TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+            sim.replay_traces(&traces).makespan().as_secs() / cfg.reps as f64
+        })
+        .collect()
 }
 
 /// Convenience: microseconds per exchange.

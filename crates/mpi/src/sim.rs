@@ -28,7 +28,7 @@ use crate::result::SimResult;
 use hpcsim_engine::{EventQueue, SimTime};
 use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
 use hpcsim_net::{CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::ops::CommId;
 
@@ -89,6 +89,46 @@ struct CollInstance {
     done: Option<SimTime>,
 }
 
+/// Per-rank message-matching table: a handful of (src, tag) keys, each
+/// with a FIFO queue. Ranks talk to a few peers over a few tags, so a
+/// linear scan over a flat vec beats hashing a 3-tuple on every match —
+/// and the destination rank is the vec index rather than part of the key.
+#[derive(Debug)]
+struct MatchQueues<T> {
+    entries: Vec<(u64, VecDeque<T>)>,
+}
+
+impl<T> Default for MatchQueues<T> {
+    fn default() -> Self {
+        MatchQueues { entries: Vec::new() }
+    }
+}
+
+impl<T> MatchQueues<T> {
+    fn key(src: usize, tag: u32) -> u64 {
+        ((src as u64) << 32) | tag as u64
+    }
+
+    /// Pop the FIFO head for (src, tag), if any.
+    fn pop(&mut self, src: usize, tag: u32) -> Option<T> {
+        let key = Self::key(src, tag);
+        self.entries.iter_mut().find(|(k, _)| *k == key).and_then(|(_, q)| q.pop_front())
+    }
+
+    /// Append to the FIFO for (src, tag), creating it on first use.
+    fn push(&mut self, src: usize, tag: u32, item: T) {
+        let key = Self::key(src, tag);
+        let pos = match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(p) => p,
+            None => {
+                self.entries.push((key, VecDeque::new()));
+                self.entries.len() - 1
+            }
+        };
+        self.entries[pos].1.push_back(item);
+    }
+}
+
 /// The replay engine. Construct, optionally register sub-communicators,
 /// then [`TraceSim::run`] a program.
 pub struct TraceSim {
@@ -144,21 +184,35 @@ impl TraceSim {
         &self.cfg
     }
 
-    /// Generate all rank traces for `prog` and replay them.
-    pub fn run<P: Program + ?Sized>(&mut self, prog: &P) -> SimResult {
-        let n = self.cfg.ranks();
-        let traces: Vec<Vec<Op>> = (0..n)
+    /// Generate rank traces for `prog` without replaying them. A trace
+    /// depends only on (program, ranks, threads) — not on the machine,
+    /// mode, or layout — so one trace set can be replayed across many
+    /// configurations (see [`TraceSim::replay_traces`]).
+    pub fn trace_program<P: Program + ?Sized>(prog: &P, ranks: usize, threads: u32) -> Vec<Vec<Op>> {
+        (0..ranks)
             .map(|r| {
-                let mut mpi = Mpi::new(r, n, self.cfg.threads);
+                let mut mpi = Mpi::new(r, ranks, threads);
                 prog.run(&mut mpi);
                 mpi.into_ops()
             })
-            .collect();
-        self.replay(traces)
+            .collect()
     }
 
-    /// Replay pre-built traces (one per rank).
+    /// Generate all rank traces for `prog` and replay them.
+    pub fn run<P: Program + ?Sized>(&mut self, prog: &P) -> SimResult {
+        let traces = Self::trace_program(prog, self.cfg.ranks(), self.cfg.threads);
+        self.replay_traces(&traces)
+    }
+
+    /// Replay pre-built traces (one per rank), consuming them.
     pub fn replay(&mut self, traces: Vec<Vec<Op>>) -> SimResult {
+        self.replay_traces(&traces)
+    }
+
+    /// Replay borrowed traces (one per rank). Borrowing lets a parameter
+    /// sweep (e.g. Fig 2's mapping comparison) build the trace set once
+    /// and replay it under every configuration.
+    pub fn replay_traces(&mut self, traces: &[Vec<Op>]) -> SimResult {
         let n = traces.len();
         assert_eq!(n, self.cfg.ranks(), "one trace per rank required");
         let eager_threshold = self.cfg.machine.nic.eager_threshold;
@@ -175,17 +229,34 @@ impl TraceSim {
         let mut finish = vec![SimTime::ZERO; n];
         let mut marks: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); n];
         let mut req_done: Vec<Vec<Option<SimTime>>> = vec![Vec::new(); n];
-        let mut arrived: HashMap<(usize, usize, u32), VecDeque<usize>> = HashMap::new();
-        let mut posted: HashMap<(usize, usize, u32), VecDeque<(usize, Req)>> = HashMap::new();
+        // per-destination-rank matching tables (dst is the index, not a key)
+        let mut arrived: Vec<MatchQueues<usize>> = (0..n).map(|_| MatchQueues::default()).collect();
+        let mut posted: Vec<MatchQueues<(usize, Req)>> =
+            (0..n).map(|_| MatchQueues::default()).collect();
         let mut msgs: Vec<Msg> = Vec::new();
         let mut flows: Vec<Option<FlowHandle>> = Vec::new();
-        let mut coll_seq: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
-        let mut coll_state: HashMap<(u32, u64), CollInstance> = HashMap::new();
+        // per-rank (comm, next seq) counters; a rank touches few comms
+        let mut coll_seq: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        // collective instances indexed [comm][seq] — seqs are dense per comm
+        let mut coll_state: Vec<Vec<CollInstance>> =
+            (0..self.comms.len()).map(|_| Vec::new()).collect();
         let mut coll_current: Vec<Option<(u32, u64)>> = vec![None; n];
         let mut total_bytes = 0u64;
         let mut total_msgs = 0u64;
 
-        let mut events: EventQueue<Ev> = EventQueue::with_capacity(2 * n);
+        // One initial resume per rank, one arrival per isend, one
+        // completion resume per collective entry, plus match-time resumes
+        // bounded by the send count.
+        let sends: usize = traces
+            .iter()
+            .map(|t| t.iter().filter(|op| matches!(op, Op::Isend { .. })).count())
+            .sum();
+        let colls: usize = traces
+            .iter()
+            .map(|t| t.iter().filter(|op| matches!(op, Op::Collective { .. })).count())
+            .sum();
+        let mut events: EventQueue<Ev> = EventQueue::with_capacity(n + 2 * sends + colls);
+        msgs.reserve(sends);
         for r in 0..n {
             events.push(SimTime::ZERO, Ev::Resume(r));
         }
@@ -209,21 +280,16 @@ impl TraceSim {
                             self.tracker.release(h);
                         }
                     }
-                    let k = (dst, src, tag);
-                    let mut matched = false;
-                    if let Some(q) = posted.get_mut(&k) {
-                        if let Some((rank, req)) = q.pop_front() {
+                    match posted[dst].pop(src, tag) {
+                        Some((rank, req)) => {
                             ensure_req(&mut req_done[rank], req);
                             req_done[rank][req.0 as usize] = Some(now);
                             if blocked[rank] == Blocked::OnReq(req) {
                                 blocked[rank] = Blocked::None;
                                 events.push(now, Ev::Resume(rank));
                             }
-                            matched = true;
                         }
-                    }
-                    if !matched {
-                        arrived.entry(k).or_default().push_back(msg);
+                        None => arrived[dst].push(src, tag, msg),
                     }
                 }
                 Ev::Resume(r) => {
@@ -287,21 +353,16 @@ impl TraceSim {
                             Op::Irecv { src, tag, bytes, req } => {
                                 clock[r] += o_recv;
                                 ensure_req(&mut req_done[r], req);
-                                let k = (r, src, tag);
-                                let mut matched = false;
-                                if let Some(q) = arrived.get_mut(&k) {
-                                    if let Some(midx) = q.pop_front() {
+                                match arrived[r].pop(src, tag) {
+                                    Some(midx) => {
                                         // unexpected message: pay the copy
                                         debug_assert_eq!(msgs[midx].bytes, bytes);
                                         let copy = SimTime::from_secs(
                                             msgs[midx].bytes as f64 / copy_bw,
                                         );
                                         req_done[r][req.0 as usize] = Some(clock[r] + copy);
-                                        matched = true;
                                     }
-                                }
-                                if !matched {
-                                    posted.entry(k).or_default().push_back((r, req));
+                                    None => posted[r].push(src, tag, (r, req)),
                                 }
                                 pc[r] += 1;
                             }
@@ -322,9 +383,9 @@ impl TraceSim {
                             }
                             Op::Collective { comm, op } => {
                                 let cid = comm.0;
-                                if let Some(key) = coll_current[r] {
+                                if let Some((kc, ks)) = coll_current[r] {
                                     // re-execution after completion
-                                    let inst = coll_state.get(&key).expect("instance");
+                                    let inst = &coll_state[kc as usize][ks as usize];
                                     let done = inst.done.expect("resumed before completion");
                                     coll_current[r] = None;
                                     blocked[r] = Blocked::None;
@@ -333,12 +394,24 @@ impl TraceSim {
                                     }
                                     pc[r] += 1;
                                 } else {
-                                    let seq = coll_seq[r].entry(cid).or_insert(0);
-                                    let my_seq = *seq;
-                                    *seq += 1;
+                                    let counters = &mut coll_seq[r];
+                                    let pos = match counters.iter().position(|(c, _)| *c == cid) {
+                                        Some(p) => p,
+                                        None => {
+                                            counters.push((cid, 0));
+                                            counters.len() - 1
+                                        }
+                                    };
+                                    let my_seq = counters[pos].1;
+                                    counters[pos].1 += 1;
                                     let key = (cid, my_seq);
                                     let members = self.comms[cid as usize].len();
-                                    let inst = coll_state.entry(key).or_default();
+                                    let instances = &mut coll_state[cid as usize];
+                                    if instances.len() <= my_seq as usize {
+                                        instances
+                                            .resize_with(my_seq as usize + 1, CollInstance::default);
+                                    }
+                                    let inst = &mut instances[my_seq as usize];
                                     if let Some(prev) = inst.op {
                                         assert_eq!(
                                             prev, op,

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result and spec
+//! types so downstream users *could* serialize them, but nothing in the
+//! repo calls serde at runtime. This shim keeps the source unchanged in a
+//! container without crates.io access: the traits exist (with blanket
+//! impls so bounds are always satisfiable) and the derives expand to
+//! nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

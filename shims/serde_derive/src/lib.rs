@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal stand-in: the `Serialize`/`Deserialize`
+//! derives accept the same syntax but expand to nothing. The codebase
+//! only uses the derives as markers (no runtime serialization of these
+//! types goes through serde), so empty expansions are sufficient. The
+//! blanket impls in the sibling `serde` shim satisfy any trait bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
