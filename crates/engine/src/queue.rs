@@ -58,9 +58,39 @@ impl<T> Ord for ScheduledEvent<T> {
 /// assert_eq!(q.pop().unwrap().payload, "b"); // FIFO among equal times
 /// assert_eq!(q.pop().unwrap().payload, "c");
 /// ```
+/// Internal heap entry: the packed `(time, seq)` key with payload along
+/// for the ride. Ordering ignores the payload and reverses the key so
+/// `BinaryHeap`'s max-heap pops earliest-first with one u128 compare.
+#[derive(Debug, Clone)]
+struct Keyed<T> {
+    key: u128,
+    payload: T,
+}
+
+impl<T> PartialEq for Keyed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Keyed<T> {}
+impl<T> PartialOrd for Keyed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Keyed<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<ScheduledEvent<T>>,
+    /// Max-heap of key-reversed entries: the packed key `time << 64 | seq`
+    /// gives the exact earliest-`(time, seq)`-first order with a single
+    /// u128 compare in the sift loops (`pop` is the hottest operation of
+    /// the replay engine).
+    heap: BinaryHeap<Keyed<T>>,
     next_seq: u64,
 }
 
@@ -84,19 +114,23 @@ impl<T> EventQueue<T> {
     /// Schedule `payload` at `time`. Events pushed with equal times pop in
     /// push order.
     pub fn push(&mut self, time: SimTime, payload: T) {
-        let seq = self.next_seq;
+        let key = ((time.0 as u128) << 64) | self.next_seq as u128;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, payload });
+        self.heap.push(Keyed { key, payload });
     }
 
     /// Remove and return the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
-        self.heap.pop()
+        self.heap.pop().map(|Keyed { key, payload }| ScheduledEvent {
+            time: SimTime((key >> 64) as u64),
+            seq: key as u64,
+            payload,
+        })
     }
 
     /// Peek at the earliest event's timestamp without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| SimTime((e.key >> 64) as u64))
     }
 
     /// Number of pending events.

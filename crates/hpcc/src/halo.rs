@@ -15,6 +15,7 @@
 use hpcsim_engine::SimTime;
 use hpcsim_machine::{ExecMode, MachineSpec};
 use hpcsim_mpi::{FnProgram, Mpi, RankLayout, SimConfig, TraceSim};
+use hpcsim_net::{FlowHandle, FlowTracker};
 use hpcsim_topo::{Grid2D, Mapping};
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +59,16 @@ pub struct HaloConfig {
     pub reps: u32,
 }
 
-fn record_exchange(mpi: &mut Mpi, grid: Grid2D, words: u64, protocol: HaloProtocol, round: u32) {
+/// Record one halo exchange round into `mpi` (two phases: north/south,
+/// then west/east). Public so benches can rebuild the exact trace the
+/// suite replays.
+pub fn halo_record_exchange(
+    mpi: &mut Mpi,
+    grid: Grid2D,
+    words: u64,
+    protocol: HaloProtocol,
+    round: u32,
+) {
     let me = mpi.rank();
     let north = grid.north(me);
     let south = grid.south(me);
@@ -109,7 +119,7 @@ fn halo_traces(cfg: &HaloConfig) -> Vec<Vec<hpcsim_mpi::Op>> {
     TraceSim::trace_program(
         &FnProgram(move |mpi: &mut Mpi| {
             for round in 0..reps {
-                record_exchange(mpi, grid, words, protocol, round);
+                halo_record_exchange(mpi, grid, words, protocol, round);
             }
         }),
         cfg.grid.size(),
@@ -167,6 +177,53 @@ pub fn halo_us(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, cfg: &Ha
 /// latencies.
 pub fn latency_floor(machine: &MachineSpec) -> SimTime {
     (machine.nic.o_send + machine.nic.o_recv) * 2
+}
+
+/// Peak link/endpoint concurrency of each halo phase (north/south, then
+/// west/east) under `mapping` — the congestion diagnostic behind Fig
+/// 2(c,d)'s mapping spread: a mapping is bandwidth-hostile exactly when
+/// its halo flows pile onto the same torus links.
+///
+/// All of a phase's flows are registered at once through
+/// [`FlowTracker::acquire_phase`]'s difference-array bulk path, so the
+/// cost is O(ranks + links) per phase rather than O(ranks × hops).
+/// On-node flows (VN-mode neighbours sharing a node) bypass the torus
+/// and are excluded, mirroring the wire model's shared-memory fast path.
+pub fn halo_phase_pressure(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    grid: Grid2D,
+) -> [u32; 2] {
+    let ranks = grid.size();
+    let layout = halo_layout(machine, mode, mapping, ranks);
+    let torus = layout.torus;
+    let mut tracker = FlowTracker::new(&torus);
+    let mut peaks = [0u32; 2];
+    let mut flows: Vec<FlowHandle> = Vec::with_capacity(2 * ranks);
+    for (phase, peak) in peaks.iter_mut().enumerate() {
+        flows.clear();
+        for rank in 0..ranks {
+            let dsts = if phase == 0 {
+                [grid.north(rank), grid.south(rank)]
+            } else {
+                [grid.west(rank), grid.east(rank)]
+            };
+            for dst in dsts {
+                let src_node = layout.node_of_rank[rank];
+                let dst_node = layout.node_of_rank[dst];
+                if src_node == dst_node {
+                    continue;
+                }
+                let segs = torus.route_segs(torus.coord(src_node), torus.coord(dst_node));
+                flows.push(FlowHandle::new(segs, src_node, dst_node));
+            }
+        }
+        *peak = tracker.acquire_phase(&flows);
+        tracker.release_phase(&flows);
+    }
+    debug_assert!(tracker.is_quiescent());
+    peaks
 }
 
 #[cfg(test)]
@@ -232,6 +289,26 @@ mod tests {
             t_big < t_small * 2.5,
             "64 -> 512 ranks grew cost {t_small:.2e} -> {t_big:.2e}"
         );
+    }
+
+    /// Phase pressure: registers and fully releases, reports sane peaks,
+    /// and a bandwidth-hostile mapping shows at least the pressure of a
+    /// torus-friendly one on a big grid.
+    #[test]
+    fn phase_pressure_tracks_mapping_quality() {
+        let m = bluegene_p();
+        let grid = Grid2D::new(32, 32);
+        let good = halo_phase_pressure(&m, ExecMode::Vn, Mapping::txyz(), grid);
+        assert!(good[0] >= 1 && good[1] >= 1, "{good:?}");
+        let spreads: Vec<[u32; 2]> = Mapping::fig2_set()
+            .iter()
+            .map(|(_, map)| halo_phase_pressure(&m, ExecMode::Vn, *map, grid))
+            .collect();
+        let worst = spreads.iter().map(|p| p[0].max(p[1])).max().unwrap();
+        let best = spreads.iter().map(|p| p[0].max(p[1])).min().unwrap();
+        assert!(worst >= best, "mapping set should span pressure levels: {spreads:?}");
+        // determinism
+        assert_eq!(good, halo_phase_pressure(&m, ExecMode::Vn, Mapping::txyz(), grid));
     }
 
     /// The halo cost grows monotonically-ish with halo width.

@@ -31,7 +31,9 @@ pub mod ra;
 pub use comm::{pingpong, random_ring, RingResult};
 pub use epkernels::{dgemm_rate, stream_triad_rate, EpMode};
 pub use fft::{fft_run, FftResult};
-pub use halo::{halo_run, halo_run_mapped, HaloConfig, HaloProtocol};
+pub use halo::{
+    halo_phase_pressure, halo_record_exchange, halo_run, halo_run_mapped, HaloConfig, HaloProtocol,
+};
 pub use hpl::{hpl_problem_size, hpl_run, top500_run, HplConfig, HplResult, Top500Result};
 pub use imb::{imb_allreduce, imb_bcast, ImbPoint};
 pub use ptrans::{ptrans_run, PtransResult};

@@ -28,7 +28,6 @@ use crate::result::SimResult;
 use hpcsim_engine::{EventQueue, SimTime};
 use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
 use hpcsim_net::{CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel};
-use std::collections::VecDeque;
 
 use crate::ops::CommId;
 
@@ -66,13 +65,18 @@ enum Blocked {
     OnCollective,
 }
 
+/// An in-flight message. `FlowHandle` is a fixed-size `Copy` value, so
+/// the network registration rides inline instead of through a side
+/// ledger. Slots are recycled through a free-list once the message has
+/// been matched, so the ledger's footprint is bounded by the number of
+/// messages simultaneously in flight, not the total sent.
 #[derive(Debug)]
 struct Msg {
     src: usize,
     dst: usize,
     tag: u32,
     bytes: u64,
-    flow: Option<usize>,
+    flow: Option<FlowHandle>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,18 +93,23 @@ struct CollInstance {
     done: Option<SimTime>,
 }
 
-/// Per-rank message-matching table: a handful of (src, tag) keys, each
-/// with a FIFO queue. Ranks talk to a few peers over a few tags, so a
-/// linear scan over a flat vec beats hashing a 3-tuple on every match —
-/// and the destination rank is the vec index rather than part of the key.
+/// Per-rank message-matching table: one flat append-only vec of
+/// `(key, slot)` pairs scanned from a moving head. A pop takes the
+/// first live entry with the key (FIFO per key, since pushes append in
+/// order) and leaves a tombstone; the head skips leading tombstones so
+/// a fully-drained table stays O(1). In-flight counts per rank are
+/// small (a few neighbours × a few tags), so the scan is short — and
+/// unlike a per-key queue-map there is exactly one allocation per rank,
+/// not one per (src, tag) pair.
 #[derive(Debug)]
 struct MatchQueues<T> {
-    entries: Vec<(u64, VecDeque<T>)>,
+    slots: Vec<(u64, Option<T>)>,
+    head: usize,
 }
 
 impl<T> Default for MatchQueues<T> {
     fn default() -> Self {
-        MatchQueues { entries: Vec::new() }
+        MatchQueues { slots: Vec::new(), head: 0 }
     }
 }
 
@@ -109,23 +118,28 @@ impl<T> MatchQueues<T> {
         ((src as u64) << 32) | tag as u64
     }
 
-    /// Pop the FIFO head for (src, tag), if any.
+    /// Pop the FIFO-oldest live entry for (src, tag), if any.
     fn pop(&mut self, src: usize, tag: u32) -> Option<T> {
         let key = Self::key(src, tag);
-        self.entries.iter_mut().find(|(k, _)| *k == key).and_then(|(_, q)| q.pop_front())
+        while self.head < self.slots.len() && self.slots[self.head].1.is_none() {
+            self.head += 1;
+        }
+        if self.head == self.slots.len() {
+            self.slots.clear();
+            self.head = 0;
+            return None;
+        }
+        for (k, slot) in &mut self.slots[self.head..] {
+            if *k == key && slot.is_some() {
+                return slot.take();
+            }
+        }
+        None
     }
 
-    /// Append to the FIFO for (src, tag), creating it on first use.
+    /// Append an entry for (src, tag).
     fn push(&mut self, src: usize, tag: u32, item: T) {
-        let key = Self::key(src, tag);
-        let pos = match self.entries.iter().position(|(k, _)| *k == key) {
-            Some(p) => p,
-            None => {
-                self.entries.push((key, VecDeque::new()));
-                self.entries.len() - 1
-            }
-        };
-        self.entries[pos].1.push_back(item);
+        self.slots.push((Self::key(src, tag), Some(item)));
     }
 }
 
@@ -234,7 +248,7 @@ impl TraceSim {
         let mut posted: Vec<MatchQueues<(usize, Req)>> =
             (0..n).map(|_| MatchQueues::default()).collect();
         let mut msgs: Vec<Msg> = Vec::new();
-        let mut flows: Vec<Option<FlowHandle>> = Vec::new();
+        let mut msg_free: Vec<usize> = Vec::new();
         // per-rank (comm, next seq) counters; a rank touches few comms
         let mut coll_seq: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
         // collective instances indexed [comm][seq] — seqs are dense per comm
@@ -256,7 +270,6 @@ impl TraceSim {
             .map(|t| t.iter().filter(|op| matches!(op, Op::Collective { .. })).count())
             .sum();
         let mut events: EventQueue<Ev> = EventQueue::with_capacity(n + 2 * sends + colls);
-        msgs.reserve(sends);
         for r in 0..n {
             events.push(SimTime::ZERO, Ev::Resume(r));
         }
@@ -275,13 +288,13 @@ impl TraceSim {
                         let m = &mut msgs[msg];
                         (m.dst, m.src, m.tag, m.flow.take())
                     };
-                    if let Some(f) = flow {
-                        if let Some(h) = flows[f].take() {
-                            self.tracker.release(h);
-                        }
+                    if let Some(h) = flow {
+                        self.tracker.release(h);
                     }
                     match posted[dst].pop(src, tag) {
                         Some((rank, req)) => {
+                            // matched on arrival: the slot is dead
+                            msg_free.push(msg);
                             ensure_req(&mut req_done[rank], req);
                             req_done[rank][req.0 as usize] = Some(now);
                             if blocked[rank] == Blocked::OnReq(req) {
@@ -333,15 +346,20 @@ impl TraceSim {
                                 let rdv_extra = if eager {
                                     SimTime::ZERO
                                 } else {
-                                    self.p2p.wire_time(src_node, dst_node, 0) + o_send + o_recv
+                                    self.p2p.handshake_time(handle.as_ref()) + o_send + o_recv
                                 };
                                 let arrive_t = inject + rdv_extra + wire;
-                                let flow_slot = handle.map(|h| {
-                                    flows.push(Some(h));
-                                    flows.len() - 1
-                                });
-                                let midx = msgs.len();
-                                msgs.push(Msg { src: r, dst, tag, bytes, flow: flow_slot });
+                                let m = Msg { src: r, dst, tag, bytes, flow: handle };
+                                let midx = match msg_free.pop() {
+                                    Some(slot) => {
+                                        msgs[slot] = m;
+                                        slot
+                                    }
+                                    None => {
+                                        msgs.push(m);
+                                        msgs.len() - 1
+                                    }
+                                };
                                 events.push(arrive_t, Ev::Arrive { msg: midx });
                                 ensure_req(&mut req_done[r], req);
                                 req_done[r][req.0 as usize] =
@@ -360,6 +378,7 @@ impl TraceSim {
                                         let copy = SimTime::from_secs(
                                             msgs[midx].bytes as f64 / copy_bw,
                                         );
+                                        msg_free.push(midx);
                                         req_done[r][req.0 as usize] = Some(clock[r] + copy);
                                     }
                                     None => posted[r].push(src, tag, (r, req)),

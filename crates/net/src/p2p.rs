@@ -15,64 +15,334 @@
 //! the phase-structured codes in the study the two effects largely
 //! cancel). On-node peers (VN-mode tasks of one node) bypass the torus
 //! entirely via shared memory, which the BG/P system software also does.
+//!
+//! The contention engine is zero-copy: routes travel as compact
+//! [`RouteSegs`] values (at most three ring segments, `Copy`), link
+//! counters are walked by segment arithmetic, and a message's whole
+//! acquire/wire/release lifecycle performs no heap allocation. Bulk
+//! phase registration ([`FlowTracker::acquire_phase`]) turns N flows
+//! into difference-array runs and lands them with one prefix-sum sweep
+//! per link direction.
 
 use hpcsim_engine::SimTime;
 use hpcsim_machine::MachineSpec;
-use hpcsim_topo::{LinkId, Torus3D};
+use hpcsim_topo::{LinkId, RouteSegs, Torus3D};
 
 /// A registered in-flight flow; pass back to [`FlowTracker::release`].
-#[derive(Debug)]
+///
+/// Fixed-size and `Copy`: the route is carried as a [`RouteSegs`] value,
+/// so registering and releasing a flow never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowHandle {
-    links: Vec<LinkId>,
+    segs: RouteSegs,
     src_node: usize,
     dst_node: usize,
 }
 
+impl FlowHandle {
+    /// Describe a flow without registering it (used with
+    /// [`FlowTracker::acquire_phase`]).
+    pub fn new(segs: RouteSegs, src_node: usize, dst_node: usize) -> Self {
+        FlowHandle { segs, src_node, dst_node }
+    }
+
+    /// The flow's route.
+    pub fn segs(&self) -> RouteSegs {
+        self.segs
+    }
+
+    /// Injecting node index.
+    pub fn src_node(&self) -> usize {
+        self.src_node
+    }
+
+    /// Receiving node index.
+    pub fn dst_node(&self) -> usize {
+        self.dst_node
+    }
+}
+
 /// Concurrent-flow accounting over torus links and node endpoints.
+///
+/// Two registration paths share the same counters:
+///
+/// * [`FlowTracker::acquire`] — one flow at a time, walking its links
+///   via segment arithmetic, O(hops) with zero allocation (the replay
+///   engine's injection-snapshot path);
+/// * [`FlowTracker::acquire_phase`] — N flows of a phase at once via a
+///   per-direction difference array + prefix sum, O(N + links) instead
+///   of O(N × hops) (bulk analysis of halo phases / collective
+///   sub-steps).
 #[derive(Debug, Clone)]
 pub struct FlowTracker {
+    torus: Torus3D,
     link_flows: Vec<u32>,
     node_tx: Vec<u32>,
     node_rx: Vec<u32>,
+    /// Reusable difference-array scratch for [`FlowTracker::acquire_phase`]
+    /// (one slot per node plus a sentinel for runs ending at a ring seam).
+    phase_diff: Vec<i32>,
 }
 
 impl FlowTracker {
     /// Tracker for a torus of the given size.
     pub fn new(torus: &Torus3D) -> Self {
         FlowTracker {
+            torus: *torus,
             link_flows: vec![0; torus.links()],
             node_tx: vec![0; torus.nodes()],
             node_rx: vec![0; torus.nodes()],
+            phase_diff: Vec::new(),
         }
     }
 
-    /// Register a flow over `links` from `src_node` to `dst_node`;
+    /// Register a flow over `segs` from `src_node` to `dst_node`;
     /// returns the handle and the bottleneck concurrency (≥ 1) including
     /// this flow.
-    pub fn acquire(&mut self, links: Vec<LinkId>, src_node: usize, dst_node: usize) -> (FlowHandle, u32) {
+    pub fn acquire(
+        &mut self,
+        segs: RouteSegs,
+        src_node: usize,
+        dst_node: usize,
+    ) -> (FlowHandle, u32) {
         self.node_tx[src_node] += 1;
         self.node_rx[dst_node] += 1;
         let mut worst = self.node_tx[src_node].max(self.node_rx[dst_node]);
-        for l in &links {
-            let c = &mut self.link_flows[l.0];
+        self.walk_links(segs, |c| {
             *c += 1;
             worst = worst.max(*c);
-        }
-        (FlowHandle { links, src_node, dst_node }, worst)
+        });
+        (FlowHandle { segs, src_node, dst_node }, worst)
     }
 
     /// Deregister a completed flow.
     pub fn release(&mut self, h: FlowHandle) {
+        debug_assert!(self.node_tx[h.src_node] > 0, "release without acquire: tx {}", h.src_node);
+        debug_assert!(self.node_rx[h.dst_node] > 0, "release without acquire: rx {}", h.dst_node);
         self.node_tx[h.src_node] -= 1;
         self.node_rx[h.dst_node] -= 1;
-        for l in &h.links {
-            self.link_flows[l.0] -= 1;
+        self.walk_links(h.segs, |c| {
+            debug_assert!(*c > 0, "double release");
+            *c -= 1;
+        });
+    }
+
+    /// Apply `f` to the link counter of every link on `segs`, walking
+    /// each dimension's ring run as a tight strided loop (the generic
+    /// [`RouteSegs::links`] iterator re-dispatches on the dimension at
+    /// every hop; the per-message paths are hot enough to care).
+    #[inline]
+    fn walk_links<F: FnMut(&mut u32)>(&mut self, segs: RouteSegs, mut f: F) {
+        let dims = self.torus.dims;
+        let mut cur = segs.start;
+        let mut node = cur[0] + dims[0] * (cur[1] + dims[1] * cur[2]);
+        for dim in 0..3 {
+            let len = segs.offs[dim];
+            if len == 0 {
+                continue;
+            }
+            let n = dims[dim];
+            let stride = match dim {
+                0 => 1,
+                1 => dims[0],
+                _ => dims[0] * dims[1],
+            };
+            let dir = 2 * dim + usize::from(len < 0);
+            let mut v = cur[dim];
+            if len > 0 {
+                for _ in 0..len {
+                    f(&mut self.link_flows[node * 6 + dir]);
+                    if v + 1 == n {
+                        v = 0;
+                        node -= stride * (n - 1);
+                    } else {
+                        v += 1;
+                        node += stride;
+                    }
+                }
+            } else {
+                for _ in 0..-len {
+                    f(&mut self.link_flows[node * 6 + dir]);
+                    if v == 0 {
+                        v = n - 1;
+                        node += stride * (n - 1);
+                    } else {
+                        v -= 1;
+                        node -= stride;
+                    }
+                }
+            }
+            cur[dim] = v;
         }
+    }
+
+    /// Register every flow of a phase at once; returns the peak
+    /// concurrency over all links and endpoints the phase touches (0 for
+    /// an empty phase). The resulting counter state is exactly what
+    /// sequential [`FlowTracker::acquire`] calls would leave behind, but
+    /// the cost is O(flows + links): each flow's ring segments become
+    /// ±1 entries in a per-direction difference array, and one prefix-sum
+    /// sweep per direction lands the loads on the link counters.
+    ///
+    /// Release each flow individually via [`FlowTracker::release`], or
+    /// in bulk with [`FlowTracker::release_phase`].
+    pub fn acquire_phase(&mut self, flows: &[FlowHandle]) -> u32 {
+        let mut peak = 0u32;
+        for h in flows {
+            self.node_tx[h.src_node] += 1;
+            self.node_rx[h.dst_node] += 1;
+        }
+        for h in flows {
+            peak = peak.max(self.node_tx[h.src_node]).max(self.node_rx[h.dst_node]);
+        }
+        peak.max(self.phase_apply(flows, 1))
+    }
+
+    /// Deregister every flow of a phase (the inverse of
+    /// [`FlowTracker::acquire_phase`], same O(flows + links) shape).
+    pub fn release_phase(&mut self, flows: &[FlowHandle]) {
+        for h in flows {
+            debug_assert!(self.node_tx[h.src_node] > 0, "phase release without acquire");
+            debug_assert!(self.node_rx[h.dst_node] > 0, "phase release without acquire");
+            self.node_tx[h.src_node] -= 1;
+            self.node_rx[h.dst_node] -= 1;
+        }
+        self.phase_apply(flows, -1);
+    }
+
+    /// Shared bulk path: mark every flow's ring segments as ±`delta`
+    /// runs in six per-direction difference arrays (one pass over the
+    /// flows), then land each direction with one prefix-sum sweep over
+    /// its links. Returns the peak link load among updated links.
+    fn phase_apply(&mut self, flows: &[FlowHandle], delta: i32) -> u32 {
+        let lane = self.torus.nodes() + 1; // +1: runs ending at a ring seam
+        self.phase_diff.clear();
+        self.phase_diff.resize(6 * lane, 0);
+        let mut any = [false; 6];
+        for h in flows {
+            let segments = h.segs.segments(&self.torus);
+            for (dim, &(entry, len)) in segments.iter().enumerate() {
+                if len == 0 {
+                    continue;
+                }
+                let dir = 2 * dim + usize::from(len < 0);
+                any[dir] = true;
+                self.mark_run(dir * lane, entry, dim, len, delta);
+            }
+        }
+        let mut peak = 0u32;
+        for (dir, touched) in any.into_iter().enumerate() {
+            if touched {
+                peak = peak.max(self.scatter_direction(dir, dir * lane));
+            }
+        }
+        peak
+    }
+
+    /// Mark a ring run in the difference array at `base_off`. The run
+    /// covers the link *source* nodes of a segment entering at `entry`
+    /// with signed length `len` along `dim`; positions are dim-major
+    /// (the segment's dimension varies fastest), so any run is
+    /// contiguous modulo one wrap split.
+    fn mark_run(
+        &mut self,
+        base_off: usize,
+        entry: hpcsim_topo::Coord,
+        dim: usize,
+        len: i32,
+        delta: i32,
+    ) {
+        let n = self.torus.dims[dim];
+        let (u, w) = match dim {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        let base = base_off + n * (entry[u] + self.torus.dims[u] * entry[w]);
+        // link-source ring positions: [entry, entry+len) going +, or
+        // [entry+len+1, entry] going −, both taken modulo the ring
+        let hops = len.unsigned_abs() as usize;
+        let v0 = if len > 0 {
+            entry[dim]
+        } else {
+            (entry[dim] as i32 + len + 1).rem_euclid(n as i32) as usize
+        };
+        if v0 + hops <= n {
+            self.phase_diff[base + v0] += delta;
+            self.phase_diff[base + v0 + hops] -= delta;
+        } else {
+            self.phase_diff[base + v0] += delta;
+            self.phase_diff[base + n] -= delta;
+            self.phase_diff[base] += delta;
+            self.phase_diff[base + v0 + hops - n] -= delta;
+        }
+    }
+
+    /// Prefix-sum the difference array slice at `base_off` (dim-major
+    /// positions for `dir`'s dimension) onto the link counters; returns
+    /// the peak updated link load.
+    fn scatter_direction(&mut self, dir: usize, base_off: usize) -> u32 {
+        let dim = dir / 2;
+        let dims = self.torus.dims;
+        let (u, w) = match dim {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        let stride_of = |d: usize| match d {
+            0 => 1,
+            1 => dims[0],
+            _ => dims[0] * dims[1],
+        };
+        let (stride, su, sw) = (stride_of(dim), stride_of(u), stride_of(w));
+        let mut peak = 0u32;
+        let mut acc = 0i32;
+        let mut pos = base_off;
+        for cw in 0..dims[w] {
+            for cu in 0..dims[u] {
+                // node index of the lane's entry (segment coordinate 0)
+                let mut node = cu * su + cw * sw;
+                for _ in 0..dims[dim] {
+                    acc += self.phase_diff[pos];
+                    if acc != 0 {
+                        let c = &mut self.link_flows[node * 6 + dir];
+                        debug_assert!(*c as i64 + acc as i64 >= 0, "phase release underflow");
+                        *c = (*c as i32 + acc) as u32;
+                        peak = peak.max(*c);
+                    }
+                    pos += 1;
+                    node += stride;
+                }
+            }
+        }
+        debug_assert_eq!(acc + self.phase_diff[pos], 0, "unbalanced phase runs");
+        peak
+    }
+
+    /// Bottleneck concurrency a registered flow currently sees (its own
+    /// registration included) — the per-flow query companion to
+    /// [`FlowTracker::acquire_phase`].
+    pub fn flow_load(&self, h: &FlowHandle) -> u32 {
+        let mut worst = self.node_tx[h.src_node].max(self.node_rx[h.dst_node]);
+        for l in h.segs.links(&self.torus) {
+            worst = worst.max(self.link_flows[l.0]);
+        }
+        worst
     }
 
     /// Current flow count on a link (diagnostics/tests).
     pub fn link_load(&self, l: LinkId) -> u32 {
         self.link_flows[l.0]
+    }
+
+    /// Current transmit-side flow count at a node (diagnostics/tests).
+    pub fn tx_load(&self, node: usize) -> u32 {
+        self.node_tx[node]
+    }
+
+    /// Current receive-side flow count at a node (diagnostics/tests).
+    pub fn rx_load(&self, node: usize) -> u32 {
+        self.node_rx[node]
     }
 
     /// True when no flows are registered anywhere.
@@ -87,8 +357,9 @@ impl FlowTracker {
 #[derive(Debug, Clone)]
 pub struct P2pModel {
     torus: Torus3D,
-    link_bw: f64,
-    inj_bw_oneway: f64,
+    /// Uncontended wire bandwidth: `min(link_bw, injection_bw / 2)`,
+    /// hoisted out of the per-message path at construction.
+    wire_bw: f64,
     per_hop: SimTime,
     shm_latency: SimTime,
     shm_bw: f64,
@@ -105,9 +376,8 @@ impl P2pModel {
     pub fn new(machine: &MachineSpec, torus: Torus3D) -> Self {
         P2pModel {
             torus,
-            link_bw: machine.nic.torus_link_bw,
             // Table 1 injection numbers are bidirectional aggregates.
-            inj_bw_oneway: machine.nic.injection_bw / 2.0,
+            wire_bw: machine.nic.torus_link_bw.min(machine.nic.injection_bw / 2.0),
             per_hop: machine.nic.per_hop,
             // On-node peers copy through shared memory: a cache-line
             // handshake plus a memcpy at a fraction of node bandwidth.
@@ -148,7 +418,7 @@ impl P2pModel {
             return self.shm_latency + SimTime::from_secs(bytes as f64 / self.shm_bw);
         }
         let hops = self.torus.hops(self.torus.coord(src_node), self.torus.coord(dst_node));
-        let bw = self.link_bw.min(self.inj_bw_oneway) / self.share_divisor(1);
+        let bw = self.wire_bw / self.share_divisor(1);
         self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw)
     }
 
@@ -168,12 +438,25 @@ impl P2pModel {
         }
         let src = self.torus.coord(src_node);
         let dst = self.torus.coord(dst_node);
-        let hops = self.torus.hops(src, dst);
-        let route = self.torus.route(src, dst);
-        let (handle, load) = tracker.acquire(route, src_node, dst_node);
-        let bw = self.link_bw.min(self.inj_bw_oneway) / self.share_divisor(load);
+        let segs = self.torus.route_segs(src, dst);
+        let hops = segs.hops();
+        let (handle, load) = tracker.acquire(segs, src_node, dst_node);
+        let bw = self.wire_bw / self.share_divisor(load);
         let t = self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw);
         (t, Some(handle))
+    }
+
+    /// Zero-byte handshake time along an already-acquired flow's path —
+    /// exactly `wire_time(src, dst, 0)` (a zero-byte payload drains in
+    /// zero time), but read off the handle's segments instead of
+    /// re-deriving coordinates and hop counts. `None` means the
+    /// shared-memory path (same node), whose zero-byte cost is the
+    /// fixed latency.
+    pub fn handshake_time(&self, handle: Option<&FlowHandle>) -> SimTime {
+        match handle {
+            Some(h) => self.per_hop * h.segs().hops() as u64,
+            None => self.shm_latency,
+        }
     }
 
     /// Mean nearest-neighbour (1 hop) small-message wire time — a
@@ -220,6 +503,19 @@ mod tests {
         let t_xt = xt.wire_time(0, 1, bytes).as_secs();
         let t_bgp = bgp.wire_time(0, 1, bytes).as_secs();
         assert!(t_xt < t_bgp / 4.0, "XT bandwidth strength: {t_xt} vs {t_bgp}");
+    }
+
+    #[test]
+    fn handshake_time_matches_zero_byte_wire_time() {
+        let m = bgp_model();
+        let mut tracker = FlowTracker::new(m.torus());
+        for &(a, b) in &[(0usize, 1usize), (0, 511), (3, 3), (100, 37)] {
+            let (_t, handle) = m.wire_time_contended(&mut tracker, a, b, 4096);
+            assert_eq!(m.handshake_time(handle.as_ref()), m.wire_time(a, b, 0), "pair {a}->{b}");
+            if let Some(h) = handle {
+                tracker.release(h);
+            }
+        }
     }
 
     #[test]
@@ -298,14 +594,57 @@ mod tests {
     fn tracker_link_load_roundtrip() {
         let t = Torus3D::new([4, 4, 4]);
         let mut tracker = FlowTracker::new(&t);
-        let route = t.route([0, 0, 0], [2, 0, 0]);
-        let first = route[0];
-        let (h, load) = tracker.acquire(route, 0, t.index([2, 0, 0]));
+        let segs = t.route_segs([0, 0, 0], [2, 0, 0]);
+        let first = segs.links(&t).next().unwrap();
+        let (h, load) = tracker.acquire(segs, 0, t.index([2, 0, 0]));
         assert_eq!(load, 1);
         assert_eq!(tracker.link_load(first), 1);
+        assert_eq!(tracker.flow_load(&h), 1);
         tracker.release(h);
         assert_eq!(tracker.link_load(first), 0);
         assert!(tracker.is_quiescent());
+    }
+
+    #[test]
+    fn flow_handle_is_copy_and_fixed_size() {
+        let t = Torus3D::new([4, 4, 4]);
+        let h = FlowHandle::new(t.route_segs([0, 0, 0], [2, 1, 0]), 0, 6);
+        let h2 = h; // Copy
+        assert_eq!(h, h2);
+        assert_eq!(h.segs().hops(), 3);
+        // the handle carries no heap state: its size is a few words
+        assert!(std::mem::size_of::<FlowHandle>() <= 64);
+    }
+
+    #[test]
+    fn phase_bulk_load_matches_sequential() {
+        let t = Torus3D::new([4, 6, 2]);
+        let m = P2pModel::new(&bluegene_p(), t);
+        let pairs: Vec<(usize, usize)> =
+            (0..t.nodes()).map(|i| (i, (i * 7 + 3) % t.nodes())).filter(|(a, b)| a != b).collect();
+        let handles: Vec<FlowHandle> = pairs
+            .iter()
+            .map(|&(a, b)| FlowHandle::new(t.route_segs(t.coord(a), t.coord(b)), a, b))
+            .collect();
+        let mut seq = FlowTracker::new(m.torus());
+        let mut worst_seq = 0;
+        for (h, &(a, b)) in handles.iter().zip(&pairs) {
+            let (_, load) = seq.acquire(h.segs(), a, b);
+            worst_seq = worst_seq.max(load);
+        }
+        let mut bulk = FlowTracker::new(m.torus());
+        let peak = bulk.acquire_phase(&handles);
+        for l in 0..t.links() {
+            let l = hpcsim_topo::LinkId(l);
+            assert_eq!(bulk.link_load(l), seq.link_load(l));
+        }
+        for node in 0..t.nodes() {
+            assert_eq!(bulk.tx_load(node), seq.tx_load(node));
+            assert_eq!(bulk.rx_load(node), seq.rx_load(node));
+        }
+        assert_eq!(peak, worst_seq, "phase peak equals the sequential worst case");
+        bulk.release_phase(&handles);
+        assert!(bulk.is_quiescent());
     }
 
     #[test]

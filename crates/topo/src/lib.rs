@@ -3,8 +3,9 @@
 //! Interconnect topologies and process placement for the BG/P study:
 //!
 //! * [`torus`] — the 3-D torus: coordinates, wraparound distances,
-//!   dimension-ordered routing as explicit link sequences (the unit of
-//!   contention accounting in `hpcsim-net`).
+//!   dimension-ordered routing as compact ring segments
+//!   ([`torus::RouteSegs`], iterated arithmetically into the link ids
+//!   that are the unit of contention accounting in `hpcsim-net`).
 //! * [`partition`] — how a job of N nodes becomes a torus shape (BG/P
 //!   partitions are compact blocks; the Cray XT allocator hands out
 //!   whatever is free, which the paper blames for PTRANS variability —
@@ -25,5 +26,5 @@ pub mod tree;
 pub use grid::{Grid2D, Grid3D};
 pub use mapping::Mapping;
 pub use partition::{alloc_torus_dims, torus_dims, Placement};
-pub use torus::{Coord, Direction, LinkId, Torus3D};
+pub use torus::{Coord, Direction, LinkId, RouteSegs, SegLinks, Torus3D};
 pub use tree::CollectiveTree;

@@ -31,6 +31,7 @@ pub enum Direction {
 
 impl Direction {
     /// Dense index 0..6 (used for link-table addressing).
+    #[inline]
     pub fn index(self) -> usize {
         match self {
             Direction::XPlus => 0,
@@ -60,11 +61,13 @@ impl LinkId {
     }
 
     /// Source node index.
+    #[inline]
     pub fn node(self) -> usize {
         self.0 / 6
     }
 
     /// Direction out of the source node.
+    #[inline]
     pub fn direction_index(self) -> usize {
         self.0 % 6
     }
@@ -85,6 +88,7 @@ impl Torus3D {
     }
 
     /// Total node count.
+    #[inline]
     pub fn nodes(&self) -> usize {
         self.dims[0] * self.dims[1] * self.dims[2]
     }
@@ -95,12 +99,14 @@ impl Torus3D {
     }
 
     /// Node index of a coordinate (X varies fastest).
+    #[inline]
     pub fn index(&self, c: Coord) -> usize {
         debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
         c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
     }
 
     /// Coordinate of a node index.
+    #[inline]
     pub fn coord(&self, idx: usize) -> Coord {
         debug_assert!(idx < self.nodes());
         let x = idx % self.dims[0];
@@ -112,6 +118,7 @@ impl Torus3D {
     /// Signed shortest offset from `a` to `b` along ring dimension `dim`:
     /// positive means the +direction is (weakly) shorter. A ring of even
     /// size has an ambiguous antipode; we choose +.
+    #[inline]
     fn ring_offset(&self, a: usize, b: usize, dim: usize) -> isize {
         let n = self.dims[dim] as isize;
         let mut d = (b as isize - a as isize).rem_euclid(n); // 0..n
@@ -126,6 +133,7 @@ impl Torus3D {
 
     /// Hop distance between two nodes (sum of per-dimension shortest ring
     /// distances).
+    #[inline]
     pub fn hops(&self, a: Coord, b: Coord) -> usize {
         (0..3)
             .map(|d| {
@@ -155,8 +163,30 @@ impl Torus3D {
             .sum()
     }
 
+    /// Compact dimension-ordered route from `a` to `b`: the three signed
+    /// ring offsets, resolved with the same shorter-way/tie-positive rule
+    /// as [`Torus3D::route`]. A stack value (`Copy`, no allocation);
+    /// [`RouteSegs::links`] recovers the exact link sequence
+    /// arithmetically.
+    #[inline]
+    pub fn route_segs(&self, a: Coord, b: Coord) -> RouteSegs {
+        RouteSegs {
+            start: a,
+            offs: [
+                self.ring_offset(a[0], b[0], 0) as i32,
+                self.ring_offset(a[1], b[1], 1) as i32,
+                self.ring_offset(a[2], b[2], 2) as i32,
+            ],
+        }
+    }
+
     /// Dimension-ordered route from `a` to `b` as the sequence of
     /// unidirectional links traversed. Empty when `a == b`.
+    ///
+    /// Materializes one `LinkId` per hop; the contention hot path uses
+    /// the allocation-free [`Torus3D::route_segs`] instead, and this
+    /// remains as the independent oracle the property tests check the
+    /// segment iterator against.
     pub fn route(&self, a: Coord, b: Coord) -> Vec<LinkId> {
         let mut links = Vec::with_capacity(self.hops(a, b));
         let mut cur = a;
@@ -196,6 +226,128 @@ impl Torus3D {
         cross_section * wrap
     }
 }
+
+/// A dimension-ordered torus route in compact form: the origin plus one
+/// signed ring offset per dimension — at most three ring segments, never
+/// more state than four words. Unlike [`Torus3D::route`], which
+/// materializes a `Vec` with one entry per hop, this is a fixed-size
+/// `Copy` value; the links it traverses are recovered arithmetically by
+/// [`RouteSegs::links`], in exactly the order `route()` would list them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteSegs {
+    /// Route origin.
+    pub start: Coord,
+    /// Signed shortest ring offset per dimension (positive = the
+    /// +direction, with even-ring antipode ties broken positive).
+    pub offs: [i32; 3],
+}
+
+impl RouteSegs {
+    /// Total hop count (equals `Torus3D::hops` of the endpoints).
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.offs.iter().map(|o| o.unsigned_abs() as usize).sum()
+    }
+
+    /// True for a self-route (no links).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offs == [0, 0, 0]
+    }
+
+    /// The per-dimension segments as `(entry coordinate, signed length)`.
+    /// Segment `d` begins where dimensions `< d` have already arrived at
+    /// their destination values; zero-length segments are included.
+    #[inline]
+    pub fn segments(&self, torus: &Torus3D) -> [(Coord, i32); 3] {
+        let mut cur = self.start;
+        let mut out = [(cur, 0); 3];
+        for d in 0..3 {
+            out[d] = (cur, self.offs[d]);
+            let n = torus.dims[d] as i32;
+            cur[d] = (cur[d] as i32 + self.offs[d]).rem_euclid(n) as usize;
+        }
+        out
+    }
+
+    /// Iterate the traversed links without materializing them. Yields
+    /// exactly the sequence `Torus3D::route` would return for the same
+    /// endpoints, advancing node indices incrementally (one add and a
+    /// wrap test per hop).
+    #[inline]
+    pub fn links(self, torus: &Torus3D) -> SegLinks {
+        SegLinks {
+            dims: torus.dims,
+            cur: self.start,
+            node: torus.index(self.start),
+            offs: self.offs,
+            dim: 0,
+        }
+    }
+}
+
+/// Iterator over the links of a [`RouteSegs`]; see [`RouteSegs::links`].
+#[derive(Debug, Clone)]
+pub struct SegLinks {
+    dims: Coord,
+    cur: Coord,
+    node: usize,
+    offs: [i32; 3],
+    dim: usize,
+}
+
+impl Iterator for SegLinks {
+    type Item = LinkId;
+
+    #[inline]
+    fn next(&mut self) -> Option<LinkId> {
+        while self.dim < 3 && self.offs[self.dim] == 0 {
+            self.dim += 1;
+        }
+        if self.dim >= 3 {
+            return None;
+        }
+        let d = self.dim;
+        let positive = self.offs[d] > 0;
+        // direction index: 2*dim, +1 for the minus direction
+        let dir = 2 * d + usize::from(!positive);
+        let link = LinkId(self.node * 6 + dir);
+        let n = self.dims[d];
+        let stride = match d {
+            0 => 1,
+            1 => self.dims[0],
+            _ => self.dims[0] * self.dims[1],
+        };
+        if positive {
+            self.offs[d] -= 1;
+            if self.cur[d] == n - 1 {
+                self.cur[d] = 0;
+                self.node -= stride * (n - 1);
+            } else {
+                self.cur[d] += 1;
+                self.node += stride;
+            }
+        } else {
+            self.offs[d] += 1;
+            if self.cur[d] == 0 {
+                self.cur[d] = n - 1;
+                self.node += stride * (n - 1);
+            } else {
+                self.cur[d] -= 1;
+                self.node -= stride;
+            }
+        }
+        Some(link)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left: usize = self.offs.iter().map(|o| o.unsigned_abs() as usize).sum();
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SegLinks {}
 
 #[cfg(test)]
 mod tests {
@@ -313,5 +465,45 @@ mod tests {
     #[should_panic(expected = "dims must be")]
     fn zero_dim_rejected() {
         let _ = Torus3D::new([0, 4, 4]);
+    }
+
+    #[test]
+    fn route_segs_matches_route_exhaustively() {
+        // Even rings (antipode ties), odd rings, and a size-1 ring, over
+        // every ordered node pair.
+        for dims in [[4, 3, 1], [2, 2, 2], [5, 4, 3]] {
+            let t = Torus3D::new(dims);
+            for a in 0..t.nodes() {
+                for b in 0..t.nodes() {
+                    let (ca, cb) = (t.coord(a), t.coord(b));
+                    let segs = t.route_segs(ca, cb);
+                    assert_eq!(segs.hops(), t.hops(ca, cb), "{ca:?}->{cb:?}");
+                    let iterated: Vec<LinkId> = segs.links(&t).collect();
+                    assert_eq!(iterated, t.route(ca, cb), "{ca:?}->{cb:?} in {dims:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_segs_is_stack_value() {
+        let t = Torus3D::new([8, 8, 8]);
+        let segs = t.route_segs([0, 0, 0], [4, 7, 1]);
+        let copy = segs; // Copy, no move
+        assert_eq!(segs, copy);
+        assert_eq!(segs.offs, [4, -1, 1]);
+        assert!(!segs.is_empty());
+        assert!(t.route_segs([1, 2, 3], [1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn segments_chain_through_dimensions() {
+        let t = Torus3D::new([6, 6, 6]);
+        let segs = t.route_segs([5, 0, 3], [1, 4, 3]);
+        let parts = segs.segments(&t);
+        // X enters at the origin, Y where X arrived, Z where Y arrived.
+        assert_eq!(parts[0], ([5, 0, 3], 2)); // 5 -> 1 wraps +2
+        assert_eq!(parts[1], ([1, 0, 3], -2)); // 0 -> 4 is -2 around
+        assert_eq!(parts[2], ([1, 4, 3], 0));
     }
 }

@@ -23,6 +23,21 @@ proptest! {
         prop_assert_eq!(t.hops(a, b) == 0, a == b);
     }
 
+    /// The compact segment route yields the exact same link sequence as
+    /// the materialized oracle `route()` — same links, same order — for
+    /// random torus shapes, including even rings whose antipodal pairs
+    /// exercise the tie-break, and rings of length 1 and 2.
+    #[test]
+    fn route_segs_equals_route(t in torus_strategy(), a_seed: usize, b_seed: usize) {
+        let a = t.coord(a_seed % t.nodes());
+        let b = t.coord(b_seed % t.nodes());
+        let segs = t.route_segs(a, b);
+        prop_assert_eq!(segs.hops(), t.hops(a, b));
+        let iterated: Vec<_> = segs.links(&t).collect();
+        prop_assert_eq!(iterated, t.route(a, b));
+        prop_assert_eq!(segs.links(&t).len(), segs.hops());
+    }
+
     /// Triangle inequality for torus hops.
     #[test]
     fn hops_triangle_inequality(t in torus_strategy(), s1: usize, s2: usize, s3: usize) {
