@@ -100,6 +100,29 @@ pub fn md_run(machine: &MachineSpec, ranks: usize, cfg: &MdConfig) -> MdResult {
     MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }
 }
 
+/// [`md_run`] with an observability sink; also returns the raw replay
+/// result for the probe layer.
+pub fn md_run_probe<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    ranks: usize,
+    cfg: &MdConfig,
+    tracer: &mut T,
+) -> (MdResult, hpcsim_mpi::SimResult) {
+    let mut sim = TraceSim::new(SimConfig::new(machine.clone(), ranks, ExecMode::Vn));
+    let prog = cfg.clone();
+    let res = sim.run_probe(
+        &FnProgram(move |mpi: &mut Mpi| {
+            let grid = Grid3D::near_cube(mpi.size());
+            for step in 0..prog.steps {
+                record_step(mpi, &prog, grid, step);
+            }
+        }),
+        tracer,
+    );
+    let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
+    (MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }, res)
+}
+
 fn record_step(mpi: &mut Mpi, cfg: &MdConfig, grid: Grid3D, step: u32) {
     let p = mpi.size() as u64;
     let atoms_local = (cfg.atoms / p).max(1);

@@ -7,6 +7,9 @@
 //! repro all --out results/  # artifact directory (default target/repro)
 //! repro all --jobs 1        # sequential (output is identical at any N)
 //! repro all --bench-json    # write BENCH_repro.json wall-clock report
+//! repro fig2 --trace        # also run the traced battery: Chrome
+//!                           # trace + span CSV + metrics + breakdowns
+//! repro fig2 --trace-out t.json --metrics-out m.json
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -21,7 +24,9 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
+        "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] [--bench-timestamp TS] \
+         [--trace] [--trace-out FILE] [--metrics-out FILE] \
+         all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
 }
@@ -83,6 +88,13 @@ fn main() {
         timings.push(PhaseTiming { name: "ablations".to_string(), seconds });
     }
 
+    if flags.trace {
+        let start = Instant::now();
+        run_traced_battery(&flags, scale);
+        timings
+            .push(PhaseTiming { name: "trace".to_string(), seconds: start.elapsed().as_secs_f64() });
+    }
+
     let total = battery_start.elapsed().as_secs_f64();
     println!(
         "# total: {} experiment(s) in {total:.1}s (jobs={})",
@@ -91,10 +103,73 @@ fn main() {
     );
     if let Some(path) = &flags.bench_json {
         let scale_name = if flags.paper { "paper" } else { "quick" };
-        let report = bench_json_report(scale_name, hpcsim_core::jobs(), &timings, total);
+        let report = bench_json_report(
+            scale_name,
+            hpcsim_core::jobs(),
+            &timings,
+            total,
+            flags.bench_timestamp.as_deref(),
+        );
         match std::fs::write(path, report) {
             Ok(()) => println!("# wall-clock report: {}", path.display()),
             Err(e) => eprintln!("# bench-json write failed: {e}"),
         }
+    }
+}
+
+/// Run the traced battery of every selected figure that has one, write
+/// the Chrome trace + span CSV + metrics report, and print the time
+/// breakdowns. Everything tracing adds to stdout is `# `-prefixed so
+/// the untraced output stays byte-identical after comment stripping.
+fn run_traced_battery(flags: &RunFlags, scale: Scale) {
+    let selected: Vec<ExperimentId> = hpcsim_core::traceable()
+        .into_iter()
+        .filter(|id| {
+            flags.positional.iter().any(|p| p == "all" || p == id.slug())
+        })
+        .collect();
+    if selected.is_empty() {
+        println!("# trace: none of the selected experiments has a traced battery");
+        return;
+    }
+    let reports: Vec<hpcsim_core::TraceReport> =
+        selected.iter().filter_map(|&id| hpcsim_core::trace_experiment(id, scale)).collect();
+
+    for report in &reports {
+        let table = hpcsim_core::breakdown_table(report);
+        for line in table.render().lines() {
+            println!("# {line}");
+        }
+        let _ = std::fs::create_dir_all(&flags.out);
+        let path = flags.out.join(format!("{}_breakdown.csv", report.id.slug()));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("# trace: breakdown CSV write failed: {e}");
+        }
+    }
+
+    let trace_path = flags.trace_path();
+    let metrics_path = flags.metrics_path();
+    for path in [&trace_path, &metrics_path] {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+
+    let trace = hpcsim_core::chrome_json(&reports);
+    if let Err(e) = hpcsim_probe::validate_trace(&trace) {
+        eprintln!("# trace: generated Chrome trace failed validation: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write(&trace_path, &trace) {
+        Ok(()) => println!("# trace: Chrome trace (Perfetto-loadable): {}", trace_path.display()),
+        Err(e) => eprintln!("# trace: write failed: {e}"),
+    }
+    let spans_path = flags.out.join("trace_spans.csv");
+    let _ = std::fs::write(&spans_path, hpcsim_core::spans_csv(&reports));
+    println!("# trace: span CSV: {}", spans_path.display());
+
+    match std::fs::write(&metrics_path, hpcsim_core::metrics_json(&reports)) {
+        Ok(()) => println!("# trace: metrics report: {}", metrics_path.display()),
+        Err(e) => eprintln!("# trace: metrics write failed: {e}"),
     }
 }

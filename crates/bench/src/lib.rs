@@ -34,6 +34,18 @@ pub struct RunFlags {
     pub jobs: Option<usize>,
     /// `--bench-json`: where to write the wall-clock report, if asked.
     pub bench_json: Option<PathBuf>,
+    /// `--trace`: run the traced battery of each selected figure.
+    pub trace: bool,
+    /// `--trace-out FILE`: Chrome trace path (default `OUT/trace.json`).
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out FILE`: metrics report path (default
+    /// `OUT/metrics.json`).
+    pub metrics_out: Option<PathBuf>,
+    /// `--bench-timestamp TS`: ISO-8601 stamp recorded in the
+    /// `--bench-json` report. Passed in by the harness — the binary
+    /// never reads the clock itself, so untimestamped reports stay
+    /// byte-reproducible.
+    pub bench_timestamp: Option<String>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
@@ -47,6 +59,10 @@ impl RunFlags {
             out: default_out_dir(),
             jobs: None,
             bench_json: None,
+            trace: false,
+            trace_out: None,
+            metrics_out: None,
+            bench_timestamp: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -65,11 +81,38 @@ impl RunFlags {
                     flags.jobs = args.get(i).and_then(|v| v.parse::<usize>().ok());
                 }
                 "--bench-json" => flags.bench_json = Some(default_bench_json()),
+                "--trace" => flags.trace = true,
+                "--trace-out" => {
+                    i += 1;
+                    flags.trace = true;
+                    flags.trace_out = args.get(i).map(PathBuf::from);
+                }
+                "--metrics-out" => {
+                    i += 1;
+                    flags.trace = true;
+                    flags.metrics_out = args.get(i).map(PathBuf::from);
+                }
+                "--bench-timestamp" => {
+                    i += 1;
+                    flags.bench_timestamp = args.get(i).cloned();
+                }
                 other => flags.positional.push(other.to_string()),
             }
             i += 1;
         }
         flags
+    }
+
+    /// Where the Chrome trace goes: explicit `--trace-out` or
+    /// `OUT/trace.json`.
+    pub fn trace_path(&self) -> PathBuf {
+        self.trace_out.clone().unwrap_or_else(|| self.out.join("trace.json"))
+    }
+
+    /// Where the metrics report goes: explicit `--metrics-out` or
+    /// `OUT/metrics.json`.
+    pub fn metrics_path(&self) -> PathBuf {
+        self.metrics_out.clone().unwrap_or_else(|| self.out.join("metrics.json"))
     }
 }
 
@@ -97,10 +140,18 @@ pub fn bench_json_report(
     jobs: usize,
     phases: &[PhaseTiming],
     total_seconds: f64,
+    generated_at: Option<&str>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpcsim-bench-repro/1\",\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/2\",\n");
+    s.push_str("  \"schema_version\": 2,\n");
+    match generated_at {
+        // the stamp is injected by the harness (`--bench-timestamp`);
+        // without one the report stays byte-reproducible
+        Some(ts) => s.push_str(&format!("  \"generated_at\": \"{}\",\n", ts.replace('"', ""))),
+        None => s.push_str("  \"generated_at\": null,\n"),
+    }
     s.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str("  \"experiments\": [\n");
@@ -165,13 +216,46 @@ mod tests {
             PhaseTiming { name: "table2".into(), seconds: 0.51 },
             PhaseTiming { name: "fig3".into(), seconds: 1.25 },
         ];
-        let s = bench_json_report("quick", 8, &phases, 1.76);
+        let s = bench_json_report("quick", 8, &phases, 1.76, None);
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/2\""));
+        assert!(s.contains("\"schema_version\": 2"));
+        assert!(s.contains("\"generated_at\": null"));
         assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
         assert!(s.contains("\"total_seconds\": 1.760"));
         // one comma between the two experiment entries, none after the last
         assert_eq!(s.matches("},\n    {").count(), 1);
         assert!(s.contains("1.250}\n  ],"));
+    }
+
+    #[test]
+    fn bench_json_records_harness_timestamp() {
+        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"));
+        assert!(s.contains("\"generated_at\": \"2026-08-05T00:00:00Z\""));
+    }
+
+    #[test]
+    fn trace_flags_parse_and_default_paths() {
+        let args: Vec<String> = ["--trace", "--out", "/tmp/r", "fig2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = RunFlags::parse(&args);
+        assert!(f.trace);
+        assert_eq!(f.trace_path(), PathBuf::from("/tmp/r/trace.json"));
+        assert_eq!(f.metrics_path(), PathBuf::from("/tmp/r/metrics.json"));
+
+        let args: Vec<String> =
+            ["--trace-out", "/tmp/t.json", "--metrics-out", "/tmp/m.json", "--bench-timestamp", "2026-01-01T00:00:00Z"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let f = RunFlags::parse(&args);
+        // an explicit output path implies tracing
+        assert!(f.trace);
+        assert_eq!(f.trace_path(), PathBuf::from("/tmp/t.json"));
+        assert_eq!(f.metrics_path(), PathBuf::from("/tmp/m.json"));
+        assert_eq!(f.bench_timestamp.as_deref(), Some("2026-01-01T00:00:00Z"));
     }
 }

@@ -1,0 +1,67 @@
+//! End-to-end determinism of the `repro` CLI with tracing on.
+//!
+//! Everything tracing adds to stdout is `# `-prefixed (the same
+//! convention the CI smoke uses for timing lines), so a traced run and
+//! an untraced run must be byte-identical once comments are stripped —
+//! and the experiment CSV artifacts must be byte-identical, period.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_repro(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary must run");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("repro output is UTF-8")
+}
+
+/// Drop the `# `-prefixed comment lines (timings, trace reports).
+fn strip_comments(stdout: &str) -> String {
+    stdout.lines().filter(|l| !l.starts_with("# ")).collect::<Vec<_>>().join("\n")
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("missing artifact {name}: {e}"))
+}
+
+#[test]
+fn traced_run_matches_untraced_run() {
+    let base = std::env::temp_dir().join(format!("repro_cli_{}", std::process::id()));
+    let plain_dir = base.join("plain");
+    let traced_dir = base.join("traced");
+
+    let plain = run_repro(&["fig3", "--jobs", "2", "--out", plain_dir.to_str().unwrap()]);
+    let traced =
+        run_repro(&["fig3", "--trace", "--jobs", "2", "--out", traced_dir.to_str().unwrap()]);
+
+    assert_eq!(
+        strip_comments(&plain),
+        strip_comments(&traced),
+        "tracing must not change the experiment output"
+    );
+    // every CSV the untraced run wrote must come out byte-identical
+    let mut compared = 0;
+    for entry in std::fs::read_dir(&plain_dir).expect("plain artifact dir") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert_eq!(read(&plain_dir, &name), read(&traced_dir, &name), "{name} differs");
+        compared += 1;
+    }
+    assert!(compared > 0, "untraced run must write artifacts");
+
+    // the traced run produced its artifacts, and the trace validates
+    let trace = read(&traced_dir, "trace.json");
+    let stats = hpcsim_probe::validate_trace(&trace).expect("trace must validate");
+    assert!(stats.spans > 0);
+    assert!(read(&traced_dir, "metrics.json").contains("hpcsim-probe-metrics/1"));
+    assert!(read(&traced_dir, "fig3_breakdown.csv").lines().count() > 1);
+    assert!(read(&traced_dir, "trace_spans.csv").lines().count() > 1);
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -92,6 +92,10 @@ pub struct EventQueue<T> {
     /// the replay engine).
     heap: BinaryHeap<Keyed<T>>,
     next_seq: u64,
+    /// Largest pending-event count ever reached. A branch-predictable
+    /// compare per push; exposed so observability can report how deep
+    /// the replay queue ran without sampling.
+    high_water: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -103,12 +107,12 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, high_water: 0 }
     }
 
     /// Create an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, high_water: 0 }
     }
 
     /// Schedule `payload` at `time`. Events pushed with equal times pop in
@@ -117,6 +121,9 @@ impl<T> EventQueue<T> {
         let key = ((time.0 as u128) << 64) | self.next_seq as u128;
         self.next_seq += 1;
         self.heap.push(Keyed { key, payload });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event, or `None` when empty.
@@ -141,6 +148,12 @@ impl<T> EventQueue<T> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events seen since
+    /// construction (`clear` does not reset it).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Drop all pending events, keeping allocated storage.
@@ -193,6 +206,22 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop().map(|e| e.payload), None);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.push(SimTime::from_ns(1), 1);
+        q.push(SimTime::from_ns(2), 2);
+        q.push(SimTime::from_ns(3), 3);
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        q.push(SimTime::from_ns(4), 4);
+        assert_eq!(q.high_water(), 3, "peak is sticky across pops");
+        q.clear();
+        assert_eq!(q.high_water(), 3, "clear keeps the mark");
     }
 
     #[test]

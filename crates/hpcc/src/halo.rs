@@ -173,6 +173,25 @@ pub fn halo_us(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, cfg: &Ha
     halo_run(machine, mode, mapping, cfg) * 1e6
 }
 
+/// [`halo_run`] with an observability sink: returns the seconds per
+/// exchange plus the full [`hpcsim_mpi::SimResult`] the tracer observed
+/// (the probe layer needs the per-rank finish times to cross-check span
+/// tiling).
+pub fn halo_run_probe<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+    tracer: &mut T,
+) -> (f64, hpcsim_mpi::SimResult) {
+    let ranks = cfg.grid.size();
+    let traces = halo_traces(cfg);
+    let layout = halo_layout(machine, mode, mapping, ranks);
+    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+    let res = sim.replay_traces_probe(&traces, tracer);
+    (res.makespan().as_secs() / cfg.reps as f64, res)
+}
+
 /// Sanity floor used by tests: an exchange can't beat four message
 /// latencies.
 pub fn latency_floor(machine: &MachineSpec) -> SimTime {

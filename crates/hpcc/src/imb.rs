@@ -59,6 +59,57 @@ pub fn imb_bcast(machine: &MachineSpec, mode: ExecMode, ranks: usize, bytes: u64
     ImbPoint { ranks, bytes, usec }
 }
 
+fn run_coll_probe<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    ranks: usize,
+    reps: u32,
+    tracer: &mut T,
+    record: impl Fn(&mut Mpi) + Sync,
+) -> (f64, hpcsim_mpi::SimResult) {
+    let mut sim = TraceSim::new(SimConfig::new(machine.clone(), ranks, mode));
+    let res = sim.run_probe(
+        &FnProgram(move |mpi: &mut Mpi| {
+            for _ in 0..reps {
+                record(mpi);
+            }
+        }),
+        tracer,
+    );
+    (res.makespan().as_secs() / reps as f64 * 1e6, res)
+}
+
+/// [`imb_allreduce`] with an observability sink; also returns the raw
+/// replay result for the probe layer.
+pub fn imb_allreduce_probe<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    ranks: usize,
+    bytes: u64,
+    dtype: DType,
+    tracer: &mut T,
+) -> (ImbPoint, hpcsim_mpi::SimResult) {
+    let (usec, res) = run_coll_probe(machine, mode, ranks, 4, tracer, move |mpi| {
+        mpi.allreduce(CommId::WORLD, bytes, dtype);
+    });
+    (ImbPoint { ranks, bytes, usec }, res)
+}
+
+/// [`imb_bcast`] with an observability sink; also returns the raw
+/// replay result for the probe layer.
+pub fn imb_bcast_probe<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    ranks: usize,
+    bytes: u64,
+    tracer: &mut T,
+) -> (ImbPoint, hpcsim_mpi::SimResult) {
+    let (usec, res) = run_coll_probe(machine, mode, ranks, 4, tracer, move |mpi| {
+        mpi.bcast(CommId::WORLD, bytes);
+    });
+    (ImbPoint { ranks, bytes, usec }, res)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

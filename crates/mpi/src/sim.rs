@@ -28,6 +28,7 @@ use crate::result::SimResult;
 use hpcsim_engine::{EventQueue, SimTime};
 use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
 use hpcsim_net::{CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel};
+use hpcsim_probe::{GaugeId, NoopTracer, SpanEvent, SpanKind, Tracer};
 
 use crate::ops::CommId;
 
@@ -105,11 +106,12 @@ struct CollInstance {
 struct MatchQueues<T> {
     slots: Vec<(u64, Option<T>)>,
     head: usize,
+    live: usize,
 }
 
 impl<T> Default for MatchQueues<T> {
     fn default() -> Self {
-        MatchQueues { slots: Vec::new(), head: 0 }
+        MatchQueues { slots: Vec::new(), head: 0, live: 0 }
     }
 }
 
@@ -131,6 +133,7 @@ impl<T> MatchQueues<T> {
         }
         for (k, slot) in &mut self.slots[self.head..] {
             if *k == key && slot.is_some() {
+                self.live -= 1;
                 return slot.take();
             }
         }
@@ -139,7 +142,13 @@ impl<T> MatchQueues<T> {
 
     /// Append an entry for (src, tag).
     fn push(&mut self, src: usize, tag: u32, item: T) {
+        self.live += 1;
         self.slots.push((Self::key(src, tag), Some(item)));
+    }
+
+    /// Number of live (non-tombstone) entries — the table's occupancy.
+    fn live(&self) -> usize {
+        self.live
     }
 }
 
@@ -218,6 +227,17 @@ impl TraceSim {
         self.replay_traces(&traces)
     }
 
+    /// Generate all rank traces for `prog` and replay them with `tracer`
+    /// observing (see [`TraceSim::replay_traces_probe`]).
+    pub fn run_probe<P: Program + ?Sized, T: Tracer>(
+        &mut self,
+        prog: &P,
+        tracer: &mut T,
+    ) -> SimResult {
+        let traces = Self::trace_program(prog, self.cfg.ranks(), self.cfg.threads);
+        self.replay_traces_probe(&traces, tracer)
+    }
+
     /// Replay pre-built traces (one per rank), consuming them.
     pub fn replay(&mut self, traces: Vec<Vec<Op>>) -> SimResult {
         self.replay_traces(&traces)
@@ -227,6 +247,31 @@ impl TraceSim {
     /// sweep (e.g. Fig 2's mapping comparison) build the trace set once
     /// and replay it under every configuration.
     pub fn replay_traces(&mut self, traces: &[Vec<Op>]) -> SimResult {
+        self.replay_traces_probe(traces, &mut NoopTracer)
+    }
+
+    /// Replay borrowed traces with an observability sink. Every hook is
+    /// guarded by `if T::ENABLED`, so the [`NoopTracer`] instantiation
+    /// (what [`TraceSim::replay_traces`] monomorphizes to) compiles to
+    /// the uninstrumented replay loop.
+    ///
+    /// Span semantics (the per-rank *cpu* spans — Compute, Delay,
+    /// Send/RecvOverhead, Wait, CollectiveWait — tile `[0, finish]`
+    /// exactly; net spans may overlap):
+    ///
+    /// * `MsgWire` is attributed to the *sender's* net track and carries
+    ///   the contention-free wire time in `aux`, so `dur - aux` is pure
+    ///   contention stretch;
+    /// * `Rendezvous` covers the handshake round trip before the payload
+    ///   drains;
+    /// * `UnexpectedCopy` sits on the receiver's net track at the late
+    ///   `Irecv` (the copy cost surfaces on the cpu track as `Wait`).
+    pub fn replay_traces_probe<T: Tracer>(
+        &mut self,
+        traces: &[Vec<Op>],
+        tracer: &mut T,
+    ) -> SimResult {
+        let torus = *self.p2p.torus();
         let n = traces.len();
         assert_eq!(n, self.cfg.ranks(), "one trace per rank required");
         let eager_threshold = self.cfg.machine.nic.eager_threshold;
@@ -289,6 +334,11 @@ impl TraceSim {
                         (m.dst, m.src, m.tag, m.flow.take())
                     };
                     if let Some(h) = flow {
+                        if T::ENABLED {
+                            for l in h.segs().links(&torus) {
+                                tracer.link_delta(l.0 as u32, now, -1);
+                            }
+                        }
                         self.tracker.release(h);
                     }
                     match posted[dst].pop(src, tag) {
@@ -302,7 +352,15 @@ impl TraceSim {
                                 events.push(now, Ev::Resume(rank));
                             }
                         }
-                        None => arrived[dst].push(src, tag, msg),
+                        None => {
+                            arrived[dst].push(src, tag, msg);
+                            if T::ENABLED {
+                                tracer.gauge(
+                                    GaugeId::ArrivedMatchDepth,
+                                    arrived[dst].live() as u64,
+                                );
+                            }
+                        }
                     }
                 }
                 Ev::Resume(r) => {
@@ -310,6 +368,16 @@ impl TraceSim {
                         continue;
                     }
                     if clock[r] < now {
+                        if T::ENABLED {
+                            // the gap between blocking and this resume is
+                            // time the rank spent blocked
+                            let kind = if blocked[r] == Blocked::OnCollective {
+                                SpanKind::CollectiveWait
+                            } else {
+                                SpanKind::Wait
+                            };
+                            tracer.span(SpanEvent::new(r as u32, kind, clock[r], now));
+                        }
                         clock[r] = now;
                     }
                     'advance: loop {
@@ -322,16 +390,40 @@ impl TraceSim {
                         match op {
                             Op::Compute { work, threads } => {
                                 let t = self.node_model.time(&work, self.cfg.mode, threads);
+                                if T::ENABLED && t > SimTime::ZERO {
+                                    tracer.span(SpanEvent::new(
+                                        r as u32,
+                                        SpanKind::Compute,
+                                        clock[r],
+                                        clock[r] + t,
+                                    ));
+                                }
                                 clock[r] += t;
                                 busy[r] += t;
                                 pc[r] += 1;
                             }
                             Op::Delay { time } => {
+                                if T::ENABLED && time > SimTime::ZERO {
+                                    tracer.span(SpanEvent::new(
+                                        r as u32,
+                                        SpanKind::Delay,
+                                        clock[r],
+                                        clock[r] + time,
+                                    ));
+                                }
                                 clock[r] += time;
                                 busy[r] += time;
                                 pc[r] += 1;
                             }
                             Op::Isend { dst, tag, bytes, req } => {
+                                if T::ENABLED && o_send > SimTime::ZERO {
+                                    tracer.span(SpanEvent::new(
+                                        r as u32,
+                                        SpanKind::SendOverhead,
+                                        clock[r],
+                                        clock[r] + o_send,
+                                    ));
+                                }
                                 clock[r] += o_send;
                                 let inject = clock[r];
                                 let src_node = self.cfg.layout.node_of_rank[r];
@@ -349,6 +441,35 @@ impl TraceSim {
                                     self.p2p.handshake_time(handle.as_ref()) + o_send + o_recv
                                 };
                                 let arrive_t = inject + rdv_extra + wire;
+                                if T::ENABLED {
+                                    if let Some(h) = handle.as_ref() {
+                                        for l in h.segs().links(&torus) {
+                                            tracer.link_delta(l.0 as u32, inject, 1);
+                                        }
+                                    }
+                                    if !eager {
+                                        tracer.span(
+                                            SpanEvent::new(
+                                                r as u32,
+                                                SpanKind::Rendezvous,
+                                                inject,
+                                                inject + rdv_extra,
+                                            )
+                                            .with_msg(dst as u32, tag, bytes),
+                                        );
+                                    }
+                                    let base = self.p2p.wire_time(src_node, dst_node, bytes);
+                                    tracer.span(
+                                        SpanEvent::new(
+                                            r as u32,
+                                            SpanKind::MsgWire,
+                                            inject + rdv_extra,
+                                            arrive_t,
+                                        )
+                                        .with_msg(dst as u32, tag, bytes)
+                                        .with_aux(base),
+                                    );
+                                }
                                 let m = Msg { src: r, dst, tag, bytes, flow: handle };
                                 let midx = match msg_free.pop() {
                                     Some(slot) => {
@@ -369,6 +490,14 @@ impl TraceSim {
                                 pc[r] += 1;
                             }
                             Op::Irecv { src, tag, bytes, req } => {
+                                if T::ENABLED && o_recv > SimTime::ZERO {
+                                    tracer.span(SpanEvent::new(
+                                        r as u32,
+                                        SpanKind::RecvOverhead,
+                                        clock[r],
+                                        clock[r] + o_recv,
+                                    ));
+                                }
                                 clock[r] += o_recv;
                                 ensure_req(&mut req_done[r], req);
                                 match arrived[r].pop(src, tag) {
@@ -378,10 +507,32 @@ impl TraceSim {
                                         let copy = SimTime::from_secs(
                                             msgs[midx].bytes as f64 / copy_bw,
                                         );
+                                        if T::ENABLED {
+                                            // always recorded, even zero-length:
+                                            // the recorder's unexpected-message
+                                            // counter rides on this span
+                                            tracer.span(
+                                                SpanEvent::new(
+                                                    r as u32,
+                                                    SpanKind::UnexpectedCopy,
+                                                    clock[r],
+                                                    clock[r] + copy,
+                                                )
+                                                .with_msg(src as u32, tag, bytes),
+                                            );
+                                        }
                                         msg_free.push(midx);
                                         req_done[r][req.0 as usize] = Some(clock[r] + copy);
                                     }
-                                    None => posted[r].push(src, tag, (r, req)),
+                                    None => {
+                                        posted[r].push(src, tag, (r, req));
+                                        if T::ENABLED {
+                                            tracer.gauge(
+                                                GaugeId::PostedMatchDepth,
+                                                posted[r].live() as u64,
+                                            );
+                                        }
+                                    }
                                 }
                                 pc[r] += 1;
                             }
@@ -390,6 +541,14 @@ impl TraceSim {
                                 match req_done[r][req.0 as usize] {
                                     Some(done) => {
                                         if done > clock[r] {
+                                            if T::ENABLED {
+                                                tracer.span(SpanEvent::new(
+                                                    r as u32,
+                                                    SpanKind::Wait,
+                                                    clock[r],
+                                                    done,
+                                                ));
+                                            }
                                             clock[r] = done;
                                         }
                                         pc[r] += 1;
@@ -409,6 +568,14 @@ impl TraceSim {
                                     coll_current[r] = None;
                                     blocked[r] = Blocked::None;
                                     if done > clock[r] {
+                                        if T::ENABLED {
+                                            tracer.span(SpanEvent::new(
+                                                r as u32,
+                                                SpanKind::CollectiveWait,
+                                                clock[r],
+                                                done,
+                                            ));
+                                        }
                                         clock[r] = done;
                                     }
                                     pc[r] += 1;
@@ -464,6 +631,10 @@ impl TraceSim {
                     }
                 }
             }
+        }
+
+        if T::ENABLED {
+            tracer.gauge(GaugeId::EventQueueDepth, events.high_water() as u64);
         }
 
         let unfinished: Vec<usize> = (0..n).filter(|&r| !finished[r]).collect();

@@ -108,7 +108,7 @@ impl FlowTracker {
         self.node_tx[src_node] += 1;
         self.node_rx[dst_node] += 1;
         let mut worst = self.node_tx[src_node].max(self.node_rx[dst_node]);
-        self.walk_links(segs, |c| {
+        self.walk_links(segs, |_link, c| {
             *c += 1;
             worst = worst.max(*c);
         });
@@ -117,22 +117,47 @@ impl FlowTracker {
 
     /// Deregister a completed flow.
     pub fn release(&mut self, h: FlowHandle) {
-        debug_assert!(self.node_tx[h.src_node] > 0, "release without acquire: tx {}", h.src_node);
-        debug_assert!(self.node_rx[h.dst_node] > 0, "release without acquire: rx {}", h.dst_node);
+        debug_assert!(
+            self.node_tx[h.src_node] > 0,
+            "release without acquire: tx endpoint at node {} (flow {} -> {}, {} hops)",
+            h.src_node,
+            h.src_node,
+            h.dst_node,
+            h.segs.hops(),
+        );
+        debug_assert!(
+            self.node_rx[h.dst_node] > 0,
+            "release without acquire: rx endpoint at node {} (flow {} -> {}, {} hops)",
+            h.dst_node,
+            h.src_node,
+            h.dst_node,
+            h.segs.hops(),
+        );
         self.node_tx[h.src_node] -= 1;
         self.node_rx[h.dst_node] -= 1;
-        self.walk_links(h.segs, |c| {
-            debug_assert!(*c > 0, "double release");
+        let (src_node, dst_node) = (h.src_node, h.dst_node);
+        self.walk_links(h.segs, |link, c| {
+            debug_assert!(
+                *c > 0,
+                "double release on link {link} (node {}, dir {}, load {}) for flow {} -> {}",
+                link / 6,
+                link % 6,
+                *c,
+                src_node,
+                dst_node,
+            );
             *c -= 1;
         });
     }
 
-    /// Apply `f` to the link counter of every link on `segs`, walking
-    /// each dimension's ring run as a tight strided loop (the generic
-    /// [`RouteSegs::links`] iterator re-dispatches on the dimension at
-    /// every hop; the per-message paths are hot enough to care).
+    /// Apply `f(link_index, counter)` to the link counter of every link
+    /// on `segs`, walking each dimension's ring run as a tight strided
+    /// loop (the generic [`RouteSegs::links`] iterator re-dispatches on
+    /// the dimension at every hop; the per-message paths are hot enough
+    /// to care). The link index is `node * 6 + dir` — the same linear id
+    /// [`LinkId`] uses — so callers can attribute counter changes.
     #[inline]
-    fn walk_links<F: FnMut(&mut u32)>(&mut self, segs: RouteSegs, mut f: F) {
+    fn walk_links<F: FnMut(usize, &mut u32)>(&mut self, segs: RouteSegs, mut f: F) {
         let dims = self.torus.dims;
         let mut cur = segs.start;
         let mut node = cur[0] + dims[0] * (cur[1] + dims[1] * cur[2]);
@@ -151,7 +176,7 @@ impl FlowTracker {
             let mut v = cur[dim];
             if len > 0 {
                 for _ in 0..len {
-                    f(&mut self.link_flows[node * 6 + dir]);
+                    f(node * 6 + dir, &mut self.link_flows[node * 6 + dir]);
                     if v + 1 == n {
                         v = 0;
                         node -= stride * (n - 1);
@@ -162,7 +187,7 @@ impl FlowTracker {
                 }
             } else {
                 for _ in 0..-len {
-                    f(&mut self.link_flows[node * 6 + dir]);
+                    f(node * 6 + dir, &mut self.link_flows[node * 6 + dir]);
                     if v == 0 {
                         v = n - 1;
                         node += stride * (n - 1);
@@ -202,8 +227,20 @@ impl FlowTracker {
     /// [`FlowTracker::acquire_phase`], same O(flows + links) shape).
     pub fn release_phase(&mut self, flows: &[FlowHandle]) {
         for h in flows {
-            debug_assert!(self.node_tx[h.src_node] > 0, "phase release without acquire");
-            debug_assert!(self.node_rx[h.dst_node] > 0, "phase release without acquire");
+            debug_assert!(
+                self.node_tx[h.src_node] > 0,
+                "phase release without acquire: tx endpoint at node {} (flow {} -> {})",
+                h.src_node,
+                h.src_node,
+                h.dst_node,
+            );
+            debug_assert!(
+                self.node_rx[h.dst_node] > 0,
+                "phase release without acquire: rx endpoint at node {} (flow {} -> {})",
+                h.dst_node,
+                h.src_node,
+                h.dst_node,
+            );
             self.node_tx[h.src_node] -= 1;
             self.node_rx[h.dst_node] -= 1;
         }
@@ -306,7 +343,13 @@ impl FlowTracker {
                     acc += self.phase_diff[pos];
                     if acc != 0 {
                         let c = &mut self.link_flows[node * 6 + dir];
-                        debug_assert!(*c as i64 + acc as i64 >= 0, "phase release underflow");
+                        debug_assert!(
+                            *c as i64 + acc as i64 >= 0,
+                            "phase release underflow on link {} (node {node}, dir {dir}): \
+                             load {} + delta {acc}",
+                            node * 6 + dir,
+                            *c,
+                        );
                         *c = (*c as i32 + acc) as u32;
                         peak = peak.max(*c);
                     }

@@ -1,0 +1,251 @@
+//! # hpcsim-probe
+//!
+//! Zero-cost-when-disabled observability for the simulator stack.
+//!
+//! The replay engine and the scenario runners are generic over a
+//! [`Tracer`]. The default instantiation is [`NoopTracer`], whose
+//! associated `ENABLED` constant is `false`: every hook site is guarded
+//! by `if T::ENABLED { ... }`, so monomorphization deletes the hooks and
+//! the disabled path compiles to exactly the pre-probe code (a criterion
+//! guard in `hpcsim-bench` pins the <2% bound, and a `PanickingTracer`
+//! test pins that no hook is reachable when disabled).
+//!
+//! The enabled instantiation is [`RingRecorder`], which captures:
+//!
+//! * **spans** — simulated-time intervals on two tracks per rank: a
+//!   *cpu* track whose spans tile `[0, finish]` exactly (compute, MPI
+//!   overheads, waits), and a *net* track of in-flight message intervals
+//!   (wire occupancy, rendezvous handshakes, unexpected-message copies);
+//! * **link deltas** — ±1 flow events per torus link, integrated into
+//!   utilization and peak-load heatmaps at export time;
+//! * **gauges** — high-water marks (event-queue depth, match-queue
+//!   occupancy) folded with `max`.
+//!
+//! Exports: Chrome `trace_event` JSON (Perfetto-loadable) and compact
+//! CSV via [`chrome`], per-scenario metrics JSON via [`metrics`].
+
+pub mod chrome;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::{chrome_trace, trace_csv, validate_trace, TraceStats};
+pub use metrics::{metrics_report_json, MetricValue, MetricsRegistry};
+pub use recorder::{LinkUse, RingRecorder, TimeBreakdown};
+
+use hpcsim_engine::SimTime;
+
+/// Sentinel for "no peer rank" on spans that are not tied to a message.
+pub const NO_PEER: u32 = u32::MAX;
+
+/// What a span measures. The first six kinds live on a rank's *cpu*
+/// track and tile `[0, finish]` without gaps or overlaps; the last three
+/// live on the rank's *net* track and may overlap the cpu track (they
+/// describe in-flight network state, not processor time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Modeled kernel execution (`Op::Compute`).
+    Compute,
+    /// Fixed busy delay (`Op::Delay`).
+    Delay,
+    /// NIC send overhead (`o_send`) charged at `Isend`.
+    SendOverhead,
+    /// NIC receive overhead (`o_recv`) charged at `Irecv`.
+    RecvOverhead,
+    /// Blocked on an unmatched request (`Op::Wait` / resume gap).
+    Wait,
+    /// Blocked inside a collective until `duration` past the last arrival.
+    CollectiveWait,
+    /// Payload on the wire: injection to arrival. `aux` carries the
+    /// contention-free wire time, so `dur - aux` is contention stretch.
+    MsgWire,
+    /// Rendezvous handshake round-trip before the payload drains.
+    Rendezvous,
+    /// Unexpected-message copy on the receiver (late-posted receive).
+    UnexpectedCopy,
+}
+
+impl SpanKind {
+    /// Display label (also the Chrome event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Delay => "delay",
+            SpanKind::SendOverhead => "send_overhead",
+            SpanKind::RecvOverhead => "recv_overhead",
+            SpanKind::Wait => "wait",
+            SpanKind::CollectiveWait => "collective_wait",
+            SpanKind::MsgWire => "msg_wire",
+            SpanKind::Rendezvous => "rendezvous",
+            SpanKind::UnexpectedCopy => "unexpected_copy",
+        }
+    }
+
+    /// True for spans on the cpu track (they tile the rank clock).
+    pub fn is_cpu(self) -> bool {
+        !matches!(self, SpanKind::MsgWire | SpanKind::Rendezvous | SpanKind::UnexpectedCopy)
+    }
+}
+
+/// One recorded simulated-time interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Owning rank.
+    pub rank: u32,
+    /// Peer rank for message spans ([`NO_PEER`] otherwise).
+    pub peer: u32,
+    /// MPI tag for message spans (0 otherwise).
+    pub tag: u32,
+    /// Payload bytes for message spans (0 otherwise).
+    pub bytes: u64,
+    /// What the interval measures.
+    pub kind: SpanKind,
+    /// Interval start (virtual time).
+    pub t0: SimTime,
+    /// Interval end (virtual time), `t1 >= t0`.
+    pub t1: SimTime,
+    /// Kind-specific extra duration ([`SpanKind::MsgWire`]: the
+    /// contention-free wire time; zero otherwise).
+    pub aux: SimTime,
+}
+
+impl SpanEvent {
+    /// A plain (non-message) span.
+    pub fn new(rank: u32, kind: SpanKind, t0: SimTime, t1: SimTime) -> Self {
+        SpanEvent { rank, peer: NO_PEER, tag: 0, bytes: 0, kind, t0, t1, aux: SimTime::ZERO }
+    }
+
+    /// Attach message metadata.
+    pub fn with_msg(mut self, peer: u32, tag: u32, bytes: u64) -> Self {
+        self.peer = peer;
+        self.tag = tag;
+        self.bytes = bytes;
+        self
+    }
+
+    /// Attach the kind-specific auxiliary duration.
+    pub fn with_aux(mut self, aux: SimTime) -> Self {
+        self.aux = aux;
+        self
+    }
+
+    /// Span duration.
+    pub fn dur(&self) -> SimTime {
+        self.t1.saturating_sub(self.t0)
+    }
+}
+
+/// High-water-mark gauges folded with `max` by the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Peak pending-event count in the replay `EventQueue`.
+    EventQueueDepth = 0,
+    /// Peak live posted-receive entries on any rank's match table.
+    PostedMatchDepth = 1,
+    /// Peak live unexpected-arrival entries on any rank's match table.
+    ArrivedMatchDepth = 2,
+}
+
+/// Number of distinct [`GaugeId`] values (recorder storage size).
+pub const GAUGE_COUNT: usize = 3;
+
+impl GaugeId {
+    /// All gauges, in storage order.
+    pub fn all() -> [GaugeId; GAUGE_COUNT] {
+        [GaugeId::EventQueueDepth, GaugeId::PostedMatchDepth, GaugeId::ArrivedMatchDepth]
+    }
+
+    /// Metric name for JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            GaugeId::EventQueueDepth => "event_queue_depth_peak",
+            GaugeId::PostedMatchDepth => "posted_match_depth_peak",
+            GaugeId::ArrivedMatchDepth => "arrived_match_depth_peak",
+        }
+    }
+}
+
+/// The observability sink. Hot paths are generic over `T: Tracer` and
+/// guard every hook with `if T::ENABLED`, so a `false` constant deletes
+/// the instrumentation at monomorphization time.
+pub trait Tracer {
+    /// Whether hooks are live. Hook sites MUST test this before calling
+    /// any other method (and before computing hook arguments).
+    const ENABLED: bool;
+
+    /// Record a simulated-time span.
+    fn span(&mut self, ev: SpanEvent);
+
+    /// Record a flow count change (`delta` = ±1) on torus link `link`
+    /// at virtual time `t`. Deltas may arrive out of time order (rank
+    /// clocks run ahead of the global event clock); consumers sort.
+    fn link_delta(&mut self, link: u32, t: SimTime, delta: i8);
+
+    /// Fold a gauge observation (kept as the running max).
+    fn gauge(&mut self, id: GaugeId, value: u64);
+}
+
+/// The disabled tracer: `ENABLED = false`, all methods empty.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span(&mut self, _ev: SpanEvent) {}
+
+    #[inline(always)]
+    fn link_delta(&mut self, _link: u32, _t: SimTime, _delta: i8) {}
+
+    #[inline(always)]
+    fn gauge(&mut self, _id: GaugeId, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_partition_into_tracks() {
+        let cpu = [
+            SpanKind::Compute,
+            SpanKind::Delay,
+            SpanKind::SendOverhead,
+            SpanKind::RecvOverhead,
+            SpanKind::Wait,
+            SpanKind::CollectiveWait,
+        ];
+        let net = [SpanKind::MsgWire, SpanKind::Rendezvous, SpanKind::UnexpectedCopy];
+        assert!(cpu.iter().all(|k| k.is_cpu()));
+        assert!(net.iter().all(|k| !k.is_cpu()));
+    }
+
+    #[test]
+    fn span_builder_round_trips() {
+        let ev = SpanEvent::new(3, SpanKind::MsgWire, SimTime::from_us(1), SimTime::from_us(5))
+            .with_msg(7, 42, 4096)
+            .with_aux(SimTime::from_us(2));
+        assert_eq!(ev.rank, 3);
+        assert_eq!(ev.peer, 7);
+        assert_eq!(ev.tag, 42);
+        assert_eq!(ev.bytes, 4096);
+        assert_eq!(ev.dur(), SimTime::from_us(4));
+        assert_eq!(ev.aux, SimTime::from_us(2));
+    }
+
+    #[test]
+    fn gauge_ids_are_dense() {
+        for (i, g) in GaugeId::all().into_iter().enumerate() {
+            assert_eq!(g as usize, i);
+        }
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        const { assert!(!NoopTracer::ENABLED) };
+        let mut t = NoopTracer;
+        t.span(SpanEvent::new(0, SpanKind::Compute, SimTime::ZERO, SimTime::SEC));
+        t.link_delta(0, SimTime::ZERO, 1);
+        t.gauge(GaugeId::EventQueueDepth, 9);
+    }
+}

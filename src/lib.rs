@@ -49,5 +49,7 @@ pub use hpcsim_mpi as mpi;
 pub use hpcsim_net as net;
 /// Power and energy model (Table 3).
 pub use hpcsim_power as power;
+/// Observability: simulated-time tracing, metrics, contention heatmaps.
+pub use hpcsim_probe as probe;
 /// Topologies: torus, tree, mappings, grids.
 pub use hpcsim_topo as topo;
