@@ -10,6 +10,9 @@
 //! repro fig2 --trace        # also run the traced battery: Chrome
 //!                           # trace + span CSV + metrics + breakdowns
 //! repro fig2 --trace-out t.json --metrics-out m.json
+//! repro fig2 --faults 42    # fault injection (mixed profile) + the
+//!                           # resilience battery and resilience.csv
+//! repro fig2 --faults 42 --fault-profile link
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -20,20 +23,45 @@
 
 use hpcsim_bench::{bench_json_report, PhaseTiming, RunFlags};
 use hpcsim_core::{run_experiment, set_jobs, ExperimentId, Scale};
+use hpcsim_faults::{FaultPlan, FaultProfile};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] [--bench-timestamp TS] \
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
+         [--faults SEED] [--fault-profile link|noise|loss|mixed] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
 }
 
+/// Fail early (exit 2) when an output file can't be created, instead of
+/// discovering it after minutes of simulation.
+fn ensure_writable(path: &std::path::Path) {
+    let attempt = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::OpenOptions::new().write(true).create(true).truncate(false).open(path).map(|_| ())
+    };
+    if let Err(e) = attempt() {
+        eprintln!("repro: {}: not writable: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let flags = RunFlags::parse(&raw);
+    let flags = match RunFlags::parse(&raw) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            usage();
+        }
+    };
     if flags.positional.is_empty() {
         usage();
     }
@@ -42,6 +70,10 @@ fn main() {
     }
     let scale = if flags.paper { Scale::Paper } else { Scale::Quick };
     let out_dir = &flags.out;
+    if flags.trace {
+        ensure_writable(&flags.trace_path());
+        ensure_writable(&flags.metrics_path());
+    }
 
     let want_ablations = flags.positional.iter().any(|p| p == "ablations" || p == "all");
     let ids: Vec<ExperimentId> = if flags.positional.iter().any(|p| p == "all") {
@@ -51,7 +83,12 @@ fn main() {
             .positional
             .iter()
             .filter(|p| p.as_str() != "ablations")
-            .map(|p| ExperimentId::from_slug(p).unwrap_or_else(|| usage()))
+            .map(|p| {
+                ExperimentId::from_slug(p).unwrap_or_else(|| {
+                    eprintln!("repro: unknown experiment {p:?}");
+                    usage()
+                })
+            })
             .collect()
     };
 
@@ -95,6 +132,16 @@ fn main() {
             .push(PhaseTiming { name: "trace".to_string(), seconds: start.elapsed().as_secs_f64() });
     }
 
+    let mut battery_ok = true;
+    if flags.fault_seed.is_some() {
+        let start = Instant::now();
+        battery_ok = run_resilience(&flags, scale);
+        timings.push(PhaseTiming {
+            name: "resilience".to_string(),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
     let total = battery_start.elapsed().as_secs_f64();
     println!(
         "# total: {} experiment(s) in {total:.1}s (jobs={})",
@@ -115,6 +162,46 @@ fn main() {
             Err(e) => eprintln!("# bench-json write failed: {e}"),
         }
     }
+    if !battery_ok {
+        std::process::exit(1);
+    }
+}
+
+/// The armed fault plan, when `--faults` was given. `selftest-panic`
+/// arms a mixed plan (the panic injection lives in the battery, not the
+/// plan).
+fn fault_plan(flags: &RunFlags) -> Option<FaultPlan> {
+    let seed = flags.fault_seed?;
+    let profile = match flags.fault_profile.as_deref() {
+        Some("link") => FaultProfile::Link,
+        Some("noise") => FaultProfile::Noise,
+        Some("loss") => FaultProfile::Loss,
+        _ => FaultProfile::Mixed,
+    };
+    Some(FaultPlan::new(seed, profile))
+}
+
+/// Run the resilience battery: the Fig 2 halo sweep pristine and under
+/// every fault profile, with per-scenario panic isolation. Prints the
+/// slowdown table (`# `-prefixed), writes `resilience.csv`, and reports
+/// any scenario failure on stderr. Returns false iff a scenario failed.
+fn run_resilience(flags: &RunFlags, scale: Scale) -> bool {
+    let seed = flags.fault_seed.expect("caller checked --faults");
+    let inject_panic = flags.fault_profile.as_deref() == Some("selftest-panic");
+    let report = hpcsim_core::resilience_battery(seed, scale, inject_panic);
+    for line in report.table.render().lines() {
+        println!("# {line}");
+    }
+    let _ = std::fs::create_dir_all(&flags.out);
+    let path = flags.out.join("resilience.csv");
+    match std::fs::write(&path, report.table.to_csv()) {
+        Ok(()) => println!("# resilience: summary CSV: {}", path.display()),
+        Err(e) => eprintln!("# resilience: CSV write failed: {e}"),
+    }
+    for e in &report.errors {
+        eprintln!("# resilience: scenario {} ({}) failed: {}", e.index, e.label, e.message);
+    }
+    report.all_ok()
 }
 
 /// Run the traced battery of every selected figure that has one, write
@@ -132,8 +219,14 @@ fn run_traced_battery(flags: &RunFlags, scale: Scale) {
         println!("# trace: none of the selected experiments has a traced battery");
         return;
     }
-    let reports: Vec<hpcsim_core::TraceReport> =
-        selected.iter().filter_map(|&id| hpcsim_core::trace_experiment(id, scale)).collect();
+    let plan = fault_plan(flags);
+    if let Some(p) = &plan {
+        println!("# trace: faults armed (seed {}, profile {})", p.seed(), p.profile().label());
+    }
+    let reports: Vec<hpcsim_core::TraceReport> = selected
+        .iter()
+        .filter_map(|&id| hpcsim_core::trace_experiment_with(id, scale, plan.as_ref()))
+        .collect();
 
     for report in &reports {
         let table = hpcsim_core::breakdown_table(report);

@@ -46,14 +46,32 @@ pub struct RunFlags {
     /// never reads the clock itself, so untimestamped reports stay
     /// byte-reproducible.
     pub bench_timestamp: Option<String>,
+    /// `--faults SEED`: arm fault injection from this seed. `None` keeps
+    /// the run pristine (byte-identical to the pre-fault binary).
+    pub fault_seed: Option<u64>,
+    /// `--fault-profile NAME`: which fault ingredients the armed plan
+    /// enables (default `mixed`). Must be one of [`FAULT_PROFILES`].
+    pub fault_profile: Option<String>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
 
+/// Fault profiles the CLI accepts. `selftest-panic` is the battery
+/// harness's self-test: it arms a `mixed` plan and additionally injects
+/// a deliberately-panicking scenario into the resilience battery.
+pub const FAULT_PROFILES: [&str; 5] = ["link", "noise", "loss", "mixed", "selftest-panic"];
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag}: missing value"))
+}
+
 impl RunFlags {
-    /// Parse raw CLI args. Unknown `--flags` are kept as positionals so
-    /// the caller's usage check can reject them with context.
-    pub fn parse(args: &[String]) -> RunFlags {
+    /// Parse and validate raw CLI args. Malformed input comes back as a
+    /// one-line diagnostic for the caller to print before exiting 2:
+    /// missing flag values, non-numeric `--jobs`/`--faults`, an unknown
+    /// `--fault-profile`, or an unrecognized `--flag`.
+    pub fn parse(args: &[String]) -> Result<RunFlags, String> {
         let mut flags = RunFlags {
             paper: false,
             out: default_out_dir(),
@@ -63,6 +81,8 @@ impl RunFlags {
             trace_out: None,
             metrics_out: None,
             bench_timestamp: None,
+            fault_seed: None,
+            fault_profile: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -70,37 +90,54 @@ impl RunFlags {
             match args[i].as_str() {
                 "--paper" => flags.paper = true,
                 "--quick" => flags.paper = false,
-                "--out" => {
-                    i += 1;
-                    if i < args.len() {
-                        flags.out = PathBuf::from(&args[i]);
-                    }
-                }
+                "--out" => flags.out = PathBuf::from(take_value(args, &mut i, "--out")?),
                 "--jobs" => {
-                    i += 1;
-                    flags.jobs = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                    let v = take_value(args, &mut i, "--jobs")?;
+                    flags.jobs = Some(v.parse::<usize>().map_err(|_| {
+                        format!("--jobs: expected a non-negative worker count, got {v:?}")
+                    })?);
                 }
                 "--bench-json" => flags.bench_json = Some(default_bench_json()),
                 "--trace" => flags.trace = true,
                 "--trace-out" => {
-                    i += 1;
                     flags.trace = true;
-                    flags.trace_out = args.get(i).map(PathBuf::from);
+                    flags.trace_out = Some(PathBuf::from(take_value(args, &mut i, "--trace-out")?));
                 }
                 "--metrics-out" => {
-                    i += 1;
                     flags.trace = true;
-                    flags.metrics_out = args.get(i).map(PathBuf::from);
+                    flags.metrics_out =
+                        Some(PathBuf::from(take_value(args, &mut i, "--metrics-out")?));
                 }
                 "--bench-timestamp" => {
-                    i += 1;
-                    flags.bench_timestamp = args.get(i).cloned();
+                    flags.bench_timestamp = Some(take_value(args, &mut i, "--bench-timestamp")?);
+                }
+                "--faults" => {
+                    let v = take_value(args, &mut i, "--faults")?;
+                    flags.fault_seed = Some(v.parse::<u64>().map_err(|_| {
+                        format!("--faults: expected an unsigned integer seed, got {v:?}")
+                    })?);
+                }
+                "--fault-profile" => {
+                    let v = take_value(args, &mut i, "--fault-profile")?;
+                    if !FAULT_PROFILES.contains(&v.as_str()) {
+                        return Err(format!(
+                            "--fault-profile: unknown profile {v:?} (expected one of {})",
+                            FAULT_PROFILES.join("|")
+                        ));
+                    }
+                    flags.fault_profile = Some(v);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown flag {other:?}"));
                 }
                 other => flags.positional.push(other.to_string()),
             }
             i += 1;
         }
-        flags
+        if flags.fault_profile.is_some() && flags.fault_seed.is_none() {
+            return Err("--fault-profile requires --faults SEED".to_string());
+        }
+        Ok(flags)
     }
 
     /// Where the Chrome trace goes: explicit `--trace-out` or
@@ -117,10 +154,13 @@ impl RunFlags {
 }
 
 /// Parse `--paper` / `--out DIR` style flags from raw args; returns
-/// (paper_scale, out_dir, remaining positional args).
+/// (paper_scale, out_dir, remaining positional args). Panics on invalid
+/// flags — binaries should use [`RunFlags::parse`] and exit 2 instead.
 pub fn parse_flags(args: &[String]) -> (bool, PathBuf, Vec<String>) {
-    let f = RunFlags::parse(args);
-    (f.paper, f.out, f.positional)
+    match RunFlags::parse(args) {
+        Ok(f) => (f.paper, f.out, f.positional),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One timed phase of a repro run.
@@ -201,13 +241,61 @@ mod tests {
     fn jobs_and_bench_json_flags() {
         let args: Vec<String> =
             ["--jobs", "4", "--bench-json", "all"].iter().map(|s| s.to_string()).collect();
-        let f = RunFlags::parse(&args);
+        let f = RunFlags::parse(&args).expect("valid flags");
         assert_eq!(f.jobs, Some(4));
         assert_eq!(f.bench_json, Some(default_bench_json()));
         assert_eq!(f.positional, vec!["all".to_string()]);
-        // a malformed count falls back to auto rather than crashing
+        // a malformed count is a diagnostic, not a silent fallback
         let args: Vec<String> = ["--jobs", "lots"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(RunFlags::parse(&args).jobs, None);
+        let err = RunFlags::parse(&args).expect_err("bad count must be rejected");
+        assert!(err.contains("--jobs"), "{err}");
+        // so is a negative one
+        let args: Vec<String> = ["--jobs", "-2"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_diagnosed() {
+        for bad in [vec!["--out"], vec!["--jobs"], vec!["--trace-out"], vec!["--faults"]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let err = RunFlags::parse(&args).expect_err("dangling flag must be rejected");
+            assert!(err.contains("missing value"), "{bad:?}: {err}");
+            assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+        }
+        let args: Vec<String> = ["--frobnicate", "all"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("unknown flag must be rejected");
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let args: Vec<String> = ["--faults", "42", "--fault-profile", "link", "fig2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = RunFlags::parse(&args).expect("valid fault flags");
+        assert_eq!(f.fault_seed, Some(42));
+        assert_eq!(f.fault_profile.as_deref(), Some("link"));
+
+        // --faults alone defaults the profile downstream; still valid here
+        let args: Vec<String> = ["--faults", "7"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("seed without profile");
+        assert_eq!(f.fault_seed, Some(7));
+        assert_eq!(f.fault_profile, None);
+
+        // a profile with no seed is a contradiction
+        let args: Vec<String> =
+            ["--fault-profile", "mixed"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("profile without seed");
+        assert!(err.contains("--faults"), "{err}");
+
+        // unknown profile and malformed seed
+        let args: Vec<String> =
+            ["--faults", "1", "--fault-profile", "meteor"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("unknown profile");
+        assert!(err.contains("meteor") && err.contains("mixed"), "{err}");
+        let args: Vec<String> = ["--faults", "-1"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).is_err());
     }
 
     #[test]
@@ -241,7 +329,7 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let f = RunFlags::parse(&args);
+        let f = RunFlags::parse(&args).expect("valid trace flags");
         assert!(f.trace);
         assert_eq!(f.trace_path(), PathBuf::from("/tmp/r/trace.json"));
         assert_eq!(f.metrics_path(), PathBuf::from("/tmp/r/metrics.json"));
@@ -251,7 +339,7 @@ mod tests {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-        let f = RunFlags::parse(&args);
+        let f = RunFlags::parse(&args).expect("valid trace flags");
         // an explicit output path implies tracing
         assert!(f.trace);
         assert_eq!(f.trace_path(), PathBuf::from("/tmp/t.json"));

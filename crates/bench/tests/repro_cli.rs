@@ -8,6 +8,10 @@
 use std::path::Path;
 use std::process::Command;
 
+fn run_repro_raw(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro binary must run")
+}
+
 fn run_repro(args: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(args)
@@ -64,4 +68,77 @@ fn traced_run_matches_untraced_run() {
     assert!(read(&traced_dir, "trace_spans.csv").lines().count() > 1);
 
     let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn bad_input_exits_2_with_a_diagnostic() {
+    for args in [
+        &["--jobs", "lots", "table1"][..],
+        &["--jobs", "-3", "table1"],
+        &["--faults", "nope", "table1"],
+        &["--faults", "1", "--fault-profile", "meteor", "table1"],
+        &["--fault-profile", "mixed", "table1"],
+        &["--frobnicate", "table1"],
+        &["not-an-experiment"],
+    ] {
+        let out = run_repro_raw(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("repro:"), "args {args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn unwritable_trace_out_exits_2() {
+    // a path "under" a regular file can never be created
+    let bad = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml/trace.json");
+    let out = run_repro_raw(&["table1", "--trace-out", bad]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not writable"), "{stderr}");
+}
+
+#[test]
+fn fault_battery_is_deterministic_across_jobs_and_leaves_output_pristine() {
+    let base = std::env::temp_dir().join(format!("repro_faults_{}", std::process::id()));
+    let d1 = base.join("j1");
+    let d4 = base.join("j4");
+    let dp = base.join("plain");
+
+    let a = run_repro(&["table1", "--faults", "5", "--jobs", "1", "--out", d1.to_str().unwrap()]);
+    let b = run_repro(&["table1", "--faults", "5", "--jobs", "4", "--out", d4.to_str().unwrap()]);
+    let plain = run_repro(&["table1", "--out", dp.to_str().unwrap()]);
+
+    // same seed => identical resilience summary at any worker count
+    assert_eq!(read(&d1, "resilience.csv"), read(&d4, "resilience.csv"));
+    // fault injection rides entirely on `# ` comment lines and its own
+    // CSV: the experiment output stays byte-identical to a pristine run
+    assert_eq!(strip_comments(&plain), strip_comments(&a));
+    assert_eq!(strip_comments(&a), strip_comments(&b));
+    assert_eq!(read(&dp, "table1_0.csv"), read(&d1, "table1_0.csv"));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn selftest_panic_is_isolated_and_fails_the_run() {
+    let dir = std::env::temp_dir().join(format!("repro_selftest_{}", std::process::id()));
+    let out = run_repro_raw(&[
+        "table1",
+        "--faults",
+        "5",
+        "--fault-profile",
+        "selftest-panic",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "a poisoned scenario must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("selftest-panic"), "{stderr}");
+    assert!(stderr.contains("deliberately poisoned"), "{stderr}");
+    // the healthy scenarios all completed: header + 3 rows
+    let csv = std::fs::read_to_string(dir.join("resilience.csv")).expect("resilience.csv");
+    assert_eq!(csv.lines().count(), 4, "{csv}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -22,13 +22,15 @@ pub mod experiment;
 pub mod paper;
 pub mod probe;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 
 pub use ablations::{ablation_table, run_ablations, Ablation};
 pub use experiment::{run_experiment, Artifact, ExperimentId, Scale};
 pub use probe::{
     breakdown_table, chrome_json, metrics_json, scenario_metrics, spans_csv, trace_experiment,
-    traceable, TraceReport, TracedScenario,
+    trace_experiment_with, traceable, TraceReport, TracedScenario,
 };
 pub use report::{Figure, Series, Table};
-pub use runner::{jobs, parmap, set_jobs};
+pub use resilience::{resilience_battery, ResilienceReport, ScenarioError};
+pub use runner::{jobs, parmap, set_jobs, try_parmap, ScenarioPanic};

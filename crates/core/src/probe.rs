@@ -64,7 +64,7 @@ enum Spec {
 }
 
 impl Spec {
-    fn run(&self) -> TracedScenario {
+    fn run(&self, faults: Option<&hpcsim_faults::FaultPlan>) -> TracedScenario {
         let machine = bluegene_p();
         let mut rec = RingRecorder::new();
         let (label, res) = match self {
@@ -75,11 +75,12 @@ impl Spec {
                     protocol: *protocol,
                     reps: 2,
                 };
-                let (_, res) = hpcc::halo_run_probe(
+                let (_, res) = hpcc::halo_run_probe_with(
                     &machine,
                     ExecMode::Vn,
                     Mapping::txyz(),
                     &cfg,
+                    faults,
                     &mut rec,
                 );
                 let label = format!(
@@ -133,6 +134,19 @@ pub fn traceable() -> [ExperimentId; 3] {
 /// traced battery. Scenarios run through [`parmap`] and are merged in
 /// input order, so output is identical at any `--jobs`.
 pub fn trace_experiment(id: ExperimentId, scale: Scale) -> Option<TraceReport> {
+    trace_experiment_with(id, scale, None)
+}
+
+/// [`trace_experiment`] with an optional armed fault plan. The plan
+/// reaches the point-to-point replay path (the HALO scenarios, where
+/// detours, retransmit spans and outage gauges show up in the trace);
+/// collective- and app-level scenarios are replayed pristine for now.
+/// With `faults` of `None` this is byte-for-byte [`trace_experiment`].
+pub fn trace_experiment_with(
+    id: ExperimentId,
+    scale: Scale,
+    faults: Option<&hpcsim_faults::FaultPlan>,
+) -> Option<TraceReport> {
     let specs: Vec<Spec> = match id {
         ExperimentId::Fig2 => {
             // nearest-neighbour halo: both extremes of the word sweep
@@ -165,7 +179,7 @@ pub fn trace_experiment(id: ExperimentId, scale: Scale) -> Option<TraceReport> {
         }
         _ => return None,
     };
-    let scenarios = parmap(&specs, |s| s.run());
+    let scenarios = parmap(&specs, |s| s.run(faults));
     Some(TraceReport { id, scenarios })
 }
 
@@ -207,7 +221,16 @@ pub fn scenario_metrics(s: &TracedScenario) -> MetricsRegistry {
         .counter("spans_dropped", s.recorder.dropped())
         .counter("unexpected_messages", s.recorder.unexpected());
     for g in GaugeId::all() {
-        reg.counter(g.label(), s.recorder.gauge_value(g));
+        let v = s.recorder.gauge_value(g);
+        // fault-era gauges only appear once fault injection fired, so a
+        // pristine run's metrics report keeps its pre-fault schema
+        let fault_gauge = matches!(
+            g,
+            GaugeId::LinkOutages | GaugeId::Retransmits | GaugeId::FlowUnderflows
+        );
+        if !fault_gauge || v != 0 {
+            reg.counter(g.label(), v);
+        }
     }
 
     // contention heatmap summary: peak and time-mean load per used link

@@ -34,24 +34,81 @@ pub fn jobs() -> usize {
     }
 }
 
+/// A captured scenario panic: which input index blew up, and the panic
+/// payload rendered to a string. Produced by [`try_parmap`]; turned into
+/// a structured battery-failure row by the resilience harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPanic {
+    /// Index of the failing scenario in the input slice.
+    pub index: usize,
+    /// The panic payload (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Evaluate `f` over every scenario in `items` on up to [`jobs`] worker
 /// threads; results come back in input order regardless of which worker
 /// finished first. Workers pull scenarios from a shared atomic cursor, so
 /// an expensive point at the front doesn't serialize the tail.
+///
+/// A panic in `f` aborts the whole battery with a message naming the
+/// failing scenario index; use [`try_parmap`] to isolate failures
+/// per-scenario instead.
 pub fn parmap<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    try_parmap(items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+/// [`parmap`] with per-scenario panic isolation: each scenario runs under
+/// `catch_unwind`, so one poisoned point comes back as a
+/// [`ScenarioPanic`] in its slot while every other scenario still
+/// completes and returns `Ok` — a worker thread never dies with other
+/// scenarios' results in its lap.
+pub fn try_parmap<I, O, F>(items: &[I], f: F) -> Vec<Result<O, ScenarioPanic>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     let n = items.len();
+    let run_one = |i: usize| -> Result<O, ScenarioPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+            .map_err(|p| ScenarioPanic { index: i, message: panic_message(p.as_ref()) })
+    };
     let workers = jobs().min(n);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return (0..n).map(run_one).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<O, ScenarioPanic>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -62,19 +119,32 @@ where
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(&items[i])));
+                        done.push((i, run_one(i)));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("scenario worker panicked") {
-                slots[i] = Some(v);
+            // scenario panics are caught inside run_one, so a worker can
+            // only die on a panic escaping the catch (e.g. abort-on-panic
+            // payload drops) — fold even that into a per-slot error
+            if let Ok(batch) = h.join() {
+                for (i, v) in batch {
+                    slots[i] = Some(v);
+                }
             }
         }
     });
-    slots.into_iter().map(|o| o.expect("every scenario slot filled")).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| {
+            o.unwrap_or_else(|| {
+                Err(ScenarioPanic { index: i, message: "scenario result lost to a worker crash".to_string() })
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,6 +169,39 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(parmap(&none, |&x| x).is_empty());
         assert_eq!(parmap(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn poisoned_scenario_is_isolated() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = try_parmap(&items, |&i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let p = r.as_ref().expect_err("scenario 5 must fail");
+                assert_eq!(p.index, 5);
+                assert!(p.message.contains("boom at 5"), "{}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy scenario"), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario 3 panicked")]
+    fn parmap_names_the_failing_scenario() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parmap(&items, |&i| {
+            if i == 3 {
+                panic!("bad point");
+            }
+            i
+        });
     }
 
     #[test]

@@ -173,6 +173,25 @@ pub fn halo_us(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, cfg: &Ha
     halo_run(machine, mode, mapping, cfg) * 1e6
 }
 
+/// [`halo_run`] under an armed fault plan: seconds per exchange when the
+/// job survives (detours and retransmits included in the time), or the
+/// diagnosed [`hpcsim_mpi::SimError`] when the plan cuts every route to
+/// some destination or exhausts a retransmit budget.
+pub fn halo_run_faulty(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+    plan: &hpcsim_faults::FaultPlan,
+) -> Result<f64, hpcsim_mpi::SimError> {
+    let ranks = cfg.grid.size();
+    let traces = halo_traces(cfg);
+    let layout = halo_layout(machine, mode, mapping, ranks);
+    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+    sim.set_faults(plan);
+    Ok(sim.try_replay_traces(&traces)?.makespan().as_secs() / cfg.reps as f64)
+}
+
 /// [`halo_run`] with an observability sink: returns the seconds per
 /// exchange plus the full [`hpcsim_mpi::SimResult`] the tracer observed
 /// (the probe layer needs the per-rank finish times to cross-check span
@@ -184,10 +203,28 @@ pub fn halo_run_probe<T: hpcsim_probe::Tracer>(
     cfg: &HaloConfig,
     tracer: &mut T,
 ) -> (f64, hpcsim_mpi::SimResult) {
+    halo_run_probe_with(machine, mode, mapping, cfg, None, tracer)
+}
+
+/// [`halo_run_probe`] with an optional armed fault plan. A fault-induced
+/// stall panics with the [`hpcsim_mpi::SimError`] diagnostic — traced
+/// batteries run under the panic-isolating harness, which turns that
+/// into a structured scenario failure.
+pub fn halo_run_probe_with<T: hpcsim_probe::Tracer>(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+    plan: Option<&hpcsim_faults::FaultPlan>,
+    tracer: &mut T,
+) -> (f64, hpcsim_mpi::SimResult) {
     let ranks = cfg.grid.size();
     let traces = halo_traces(cfg);
     let layout = halo_layout(machine, mode, mapping, ranks);
     let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+    if let Some(p) = plan {
+        sim.set_faults(p);
+    }
     let res = sim.replay_traces_probe(&traces, tracer);
     (res.makespan().as_secs() / cfg.reps as f64, res)
 }
@@ -328,6 +365,30 @@ mod tests {
         assert!(worst >= best, "mapping set should span pressure levels: {spreads:?}");
         // determinism
         assert_eq!(good, halo_phase_pressure(&m, ExecMode::Vn, Mapping::txyz(), grid));
+    }
+
+    /// A survivable fault plan makes the exchange slower, never faster,
+    /// and a run with no armed plan is unaffected by the feature.
+    #[test]
+    fn faulty_halo_is_no_faster_than_pristine() {
+        use hpcsim_faults::{FaultPlan, FaultProfile};
+        let m = bluegene_p();
+        let grid = Grid2D::new(16, 8);
+        let c = cfg(grid, 8192, HaloProtocol::IrecvIsend);
+        let pristine = halo_run(&m, ExecMode::Vn, Mapping::txyz(), &c);
+        let plan = FaultPlan::new(5, FaultProfile::Mixed);
+        match halo_run_faulty(&m, ExecMode::Vn, Mapping::txyz(), &c, &plan) {
+            Ok(faulty) => assert!(
+                faulty >= pristine * 0.999,
+                "faults sped up the halo: {faulty:.3e} < {pristine:.3e}"
+            ),
+            Err(e) => panic!("mixed plan at this scale should survive: {e}"),
+        }
+        // reproducible
+        assert_eq!(
+            halo_run_faulty(&m, ExecMode::Vn, Mapping::txyz(), &c, &plan).unwrap(),
+            halo_run_faulty(&m, ExecMode::Vn, Mapping::txyz(), &c, &plan).unwrap(),
+        );
     }
 
     /// The halo cost grows monotonically-ish with halo width.

@@ -35,5 +35,5 @@ pub mod sim;
 pub use layout::RankLayout;
 pub use ops::{CommId, Op, Req};
 pub use program::{FnProgram, Mpi, Program};
-pub use result::SimResult;
+pub use result::{SimError, SimResult};
 pub use sim::{SimConfig, TraceSim};

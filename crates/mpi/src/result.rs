@@ -3,6 +3,57 @@
 use hpcsim_engine::SimTime;
 use serde::Serialize;
 
+/// A diagnosed replay failure under fault injection. The replay engine
+/// raises these instead of wedging its event queue: a stuck message is
+/// named (rank, peer, tag, size) so the operator can see *which* traffic
+/// the fault plan killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A message exhausted its retransmit budget.
+    Stalled {
+        /// Sending rank (the one that gives up).
+        rank: usize,
+        /// Destination rank.
+        peer: usize,
+        /// MPI tag.
+        tag: u32,
+        /// Payload size.
+        bytes: u64,
+        /// Consecutive lost attempts observed.
+        lost: u32,
+    },
+    /// Link outages cut every route between two ranks' nodes.
+    Unreachable {
+        /// Sending rank.
+        rank: usize,
+        /// Destination rank.
+        peer: usize,
+        /// MPI tag.
+        tag: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { rank, peer, tag, bytes, lost } => write!(
+                f,
+                "rank {rank} stalled: message to rank {peer} (tag {tag}, {bytes} bytes) \
+                 lost {lost} times; retransmit budget exhausted"
+            ),
+            SimError::Unreachable { rank, peer, tag, bytes } => write!(
+                f,
+                "rank {rank}: no surviving route to rank {peer} (tag {tag}, {bytes} bytes); \
+                 destination cut off by link outages"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Outcome of one replay.
 #[derive(Debug, Clone, Serialize)]
 pub struct SimResult {

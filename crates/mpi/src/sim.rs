@@ -24,10 +24,13 @@
 use crate::layout::RankLayout;
 use crate::ops::{Op, Req};
 use crate::program::{Mpi, Program};
-use crate::result::SimResult;
+use crate::result::{SimError, SimResult};
 use hpcsim_engine::{EventQueue, SimTime};
+use hpcsim_faults::{FaultPlan, LinkFaults, LossModel, NoiseModel};
 use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
-use hpcsim_net::{CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel};
+use hpcsim_net::{
+    CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel, RetransmitPolicy,
+};
 use hpcsim_probe::{GaugeId, NoopTracer, SpanEvent, SpanKind, Tracer};
 
 use crate::ops::CommId;
@@ -78,6 +81,20 @@ struct Msg {
     tag: u32,
     bytes: u64,
     flow: Option<FlowHandle>,
+    /// Second route leg when fault detours dog-leg around an outage
+    /// (`None` on the pristine path and for direct detours).
+    flow2: Option<FlowHandle>,
+}
+
+/// Active fault injection, derived from a [`FaultPlan`] at
+/// [`TraceSim::set_faults`] time. All draws at replay time are stateless
+/// hashes, so the schedule is identical at any `--jobs` count.
+#[derive(Debug, Clone)]
+struct FaultContext {
+    link_faults: Option<LinkFaults>,
+    noise: Option<NoiseModel>,
+    loss: Option<LossModel>,
+    retransmit: RetransmitPolicy,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +178,7 @@ pub struct TraceSim {
     tracker: FlowTracker,
     comms: Vec<Vec<usize>>,
     coll_models: Vec<CollectiveModel>,
+    faults: Option<FaultContext>,
 }
 
 impl TraceSim {
@@ -183,7 +201,28 @@ impl TraceSim {
             tracker,
             comms: vec![world],
             coll_models: vec![world_model],
+            faults: None,
         }
+    }
+
+    /// Arm fault injection from a seeded plan. Link faults are drawn for
+    /// this engine's torus; the noise amplitude follows the machine's
+    /// BG/P-vs-XT4 asymmetry; retransmits use the default policy. With
+    /// no call (or after [`TraceSim::clear_faults`]) the replay path is
+    /// byte-identical to the pristine engine.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        let links = self.cfg.layout.torus.links();
+        self.faults = Some(FaultContext {
+            link_faults: plan.link_faults(links),
+            noise: plan.noise(self.cfg.machine.id.is_bluegene()),
+            loss: plan.loss(),
+            retransmit: RetransmitPolicy::default(),
+        });
+    }
+
+    /// Disarm fault injection.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Register a sub-communicator; returns its id. Members are world
@@ -250,6 +289,18 @@ impl TraceSim {
         self.replay_traces_probe(traces, &mut NoopTracer)
     }
 
+    /// Fallible replay: a fault-injected stall or cut-off destination
+    /// comes back as a diagnosed [`SimError`] instead of a panic.
+    pub fn try_replay_traces(&mut self, traces: &[Vec<Op>]) -> Result<SimResult, SimError> {
+        self.try_replay_traces_probe(traces, &mut NoopTracer)
+    }
+
+    /// Generate all rank traces for `prog` and replay them fallibly.
+    pub fn try_run<P: Program + ?Sized>(&mut self, prog: &P) -> Result<SimResult, SimError> {
+        let traces = Self::trace_program(prog, self.cfg.ranks(), self.cfg.threads);
+        self.try_replay_traces(&traces)
+    }
+
     /// Replay borrowed traces with an observability sink. Every hook is
     /// guarded by `if T::ENABLED`, so the [`NoopTracer`] instantiation
     /// (what [`TraceSim::replay_traces`] monomorphizes to) compiles to
@@ -271,6 +322,22 @@ impl TraceSim {
         traces: &[Vec<Op>],
         tracer: &mut T,
     ) -> SimResult {
+        match self.try_replay_traces_probe(traces, tracer) {
+            Ok(res) => res,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`TraceSim::replay_traces_probe`]: under fault
+    /// injection a message that exhausts its retransmit budget (or whose
+    /// destination is cut off by link outages) stops the replay with a
+    /// [`SimError`] naming the stuck rank and message, instead of
+    /// spinning or wedging the event queue.
+    pub fn try_replay_traces_probe<T: Tracer>(
+        &mut self,
+        traces: &[Vec<Op>],
+        tracer: &mut T,
+    ) -> Result<SimResult, SimError> {
         let torus = *self.p2p.torus();
         let n = traces.len();
         assert_eq!(n, self.cfg.ranks(), "one trace per rank required");
@@ -279,6 +346,17 @@ impl TraceSim {
         let o_recv = self.cfg.machine.nic.o_recv;
         // unexpected-message copy rate: payload memcpy through memory
         let copy_bw = self.cfg.machine.mem.bw_bytes / 4.0;
+
+        // Fault-injection hooks. All `None` on the pristine path, where
+        // every guarded branch below folds away to the legacy replay.
+        let link_faults = self.faults.as_ref().and_then(|f| f.link_faults.as_ref());
+        let fault_noise = self.faults.as_ref().and_then(|f| f.noise);
+        let fault_loss = self.faults.as_ref().and_then(|f| f.loss);
+        let retransmit = self.faults.as_ref().map_or_else(RetransmitPolicy::default, |f| f.retransmit);
+        let mut compute_step = vec![0u64; if fault_noise.is_some() { n } else { 0 }];
+        let mut send_seq = vec![0u64; if fault_loss.is_some() { n } else { 0 }];
+        let mut total_retransmits = 0u64;
+        let mut stalled: Option<SimError> = None;
 
         let mut clock = vec![SimTime::ZERO; n];
         let mut pc = vec![0usize; n];
@@ -329,11 +407,11 @@ impl TraceSim {
             let now = ev.time;
             match ev.payload {
                 Ev::Arrive { msg } => {
-                    let (dst, src, tag, flow) = {
+                    let (dst, src, tag, flow, flow2) = {
                         let m = &mut msgs[msg];
-                        (m.dst, m.src, m.tag, m.flow.take())
+                        (m.dst, m.src, m.tag, m.flow.take(), m.flow2.take())
                     };
-                    if let Some(h) = flow {
+                    for h in flow.into_iter().chain(flow2) {
                         if T::ENABLED {
                             for l in h.segs().links(&torus) {
                                 tracer.link_delta(l.0 as u32, now, -1);
@@ -389,7 +467,15 @@ impl TraceSim {
                         let op = traces[r][pc[r]];
                         match op {
                             Op::Compute { work, threads } => {
-                                let t = self.node_model.time(&work, self.cfg.mode, threads);
+                                let mut t = self.node_model.time(&work, self.cfg.mode, threads);
+                                if let Some(nm) = fault_noise {
+                                    // OS-noise jitter: a stateless draw per
+                                    // (rank, compute step), so the schedule
+                                    // is identical at any worker count
+                                    let step = compute_step[r];
+                                    compute_step[r] = step + 1;
+                                    t = t.scale(nm.factor(r, step));
+                                }
                                 if T::ENABLED && t > SimTime::ZERO {
                                     tracer.span(SpanEvent::new(
                                         r as u32,
@@ -425,24 +511,90 @@ impl TraceSim {
                                     ));
                                 }
                                 clock[r] += o_send;
-                                let inject = clock[r];
+                                let mut inject = clock[r];
+                                if let Some(lm) = fault_loss {
+                                    let seq = send_seq[r];
+                                    send_seq[r] = seq + 1;
+                                    let lost = lm.lost_attempts(r, seq);
+                                    if lost > 0 {
+                                        match retransmit.penalty(lost) {
+                                            Some(pen) => {
+                                                total_retransmits += lost as u64;
+                                                if T::ENABLED && pen > SimTime::ZERO {
+                                                    tracer.span(
+                                                        SpanEvent::new(
+                                                            r as u32,
+                                                            SpanKind::Retransmit,
+                                                            inject,
+                                                            inject + pen,
+                                                        )
+                                                        .with_msg(dst as u32, tag, bytes),
+                                                    );
+                                                }
+                                                // the NIC re-sends in the
+                                                // background: injection slips,
+                                                // the cpu track does not
+                                                inject += pen;
+                                            }
+                                            None => {
+                                                stalled = Some(SimError::Stalled {
+                                                    rank: r,
+                                                    peer: dst,
+                                                    tag,
+                                                    bytes,
+                                                    lost,
+                                                });
+                                                break 'advance;
+                                            }
+                                        }
+                                    }
+                                }
                                 let src_node = self.cfg.layout.node_of_rank[r];
                                 let dst_node = self.cfg.layout.node_of_rank[dst];
-                                let (wire, handle) = self.p2p.wire_time_contended(
-                                    &mut self.tracker,
-                                    src_node,
-                                    dst_node,
-                                    bytes,
-                                );
+                                let (wire, handle, handle2) = match link_faults {
+                                    None => {
+                                        let (w, h) = self.p2p.wire_time_contended(
+                                            &mut self.tracker,
+                                            src_node,
+                                            dst_node,
+                                            bytes,
+                                        );
+                                        (w, h, None)
+                                    }
+                                    Some(lf) => match self.p2p.wire_time_contended_avoiding(
+                                        &mut self.tracker,
+                                        lf,
+                                        src_node,
+                                        dst_node,
+                                        bytes,
+                                    ) {
+                                        Some(v) => v,
+                                        None => {
+                                            stalled = Some(SimError::Unreachable {
+                                                rank: r,
+                                                peer: dst,
+                                                tag,
+                                                bytes,
+                                            });
+                                            break 'advance;
+                                        }
+                                    },
+                                };
                                 let eager = bytes <= eager_threshold;
                                 let rdv_extra = if eager {
                                     SimTime::ZERO
                                 } else {
-                                    self.p2p.handshake_time(handle.as_ref()) + o_send + o_recv
+                                    let mut hs = self.p2p.handshake_time(handle.as_ref());
+                                    if let Some(h2) = handle2.as_ref() {
+                                        // dog-leg detours pay the handshake
+                                        // across both legs
+                                        hs += self.p2p.handshake_time(Some(h2));
+                                    }
+                                    hs + o_send + o_recv
                                 };
                                 let arrive_t = inject + rdv_extra + wire;
                                 if T::ENABLED {
-                                    if let Some(h) = handle.as_ref() {
+                                    for h in handle.iter().chain(handle2.iter()) {
                                         for l in h.segs().links(&torus) {
                                             tracer.link_delta(l.0 as u32, inject, 1);
                                         }
@@ -470,7 +622,7 @@ impl TraceSim {
                                         .with_aux(base),
                                     );
                                 }
-                                let m = Msg { src: r, dst, tag, bytes, flow: handle };
+                                let m = Msg { src: r, dst, tag, bytes, flow: handle, flow2: handle2 };
                                 let midx = match msg_free.pop() {
                                     Some(slot) => {
                                         msgs[slot] = m;
@@ -631,10 +783,27 @@ impl TraceSim {
                     }
                 }
             }
+            if stalled.is_some() {
+                break;
+            }
         }
 
         if T::ENABLED {
             tracer.gauge(GaugeId::EventQueueDepth, events.high_water() as u64);
+            if let Some(lf) = link_faults {
+                tracer.gauge(GaugeId::LinkOutages, lf.n_dead() as u64);
+            }
+            if total_retransmits > 0 {
+                tracer.gauge(GaugeId::Retransmits, total_retransmits);
+            }
+            let underflows = self.tracker.underflows();
+            if underflows > 0 {
+                tracer.gauge(GaugeId::FlowUnderflows, underflows);
+            }
+        }
+
+        if let Some(e) = stalled {
+            return Err(e);
         }
 
         let unfinished: Vec<usize> = (0..n).filter(|&r| !finished[r]).collect();
@@ -646,7 +815,7 @@ impl TraceSim {
             pc[unfinished[0]],
         );
 
-        SimResult { finish, busy, bytes_sent: total_bytes, messages: total_msgs, marks }
+        Ok(SimResult { finish, busy, bytes_sent: total_bytes, messages: total_msgs, marks })
     }
 }
 
@@ -875,5 +1044,121 @@ mod tests {
         let b = run();
         assert_eq!(a.finish, b.finish);
         assert_eq!(a.bytes_sent, b.bytes_sent);
+    }
+
+    mod faults {
+        use super::*;
+        use hpcsim_faults::FaultProfile;
+
+        fn ring_exchange(bytes: u64) -> FnProgram<impl Fn(&mut Mpi) + Copy> {
+            FnProgram(move |mpi: &mut Mpi| {
+                let next = (mpi.rank() + 1) % mpi.size();
+                let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                mpi.sendrecv(next, 0, bytes, prev, 0, bytes);
+            })
+        }
+
+        #[test]
+        fn disarmed_faults_leave_the_replay_untouched() {
+            let prog = ring_exchange(4096);
+            let mut a = sim(bluegene_p(), 16, ExecMode::Vn);
+            let base = a.run(&prog);
+            let mut b = sim(bluegene_p(), 16, ExecMode::Vn);
+            b.set_faults(&FaultPlan::new(7, FaultProfile::Mixed));
+            b.clear_faults();
+            let again = b.run(&prog);
+            assert_eq!(base.finish, again.finish);
+            assert_eq!(base.bytes_sent, again.bytes_sent);
+        }
+
+        #[test]
+        fn noise_slows_compute_deterministically() {
+            let run = |seed: Option<u64>| {
+                let mut s = sim(bluegene_p(), 8, ExecMode::Vn);
+                if let Some(sd) = seed {
+                    s.set_faults(&FaultPlan::new(sd, FaultProfile::Noise));
+                }
+                s.run(&FnProgram(|mpi: &mut Mpi| {
+                    for _ in 0..50 {
+                        mpi.compute(Workload::Custom {
+                            flops: 3.06e7,
+                            dram_bytes: 0.0,
+                            simd_eff: 0.9,
+                            serial_frac: 0.0,
+                        });
+                    }
+                    mpi.barrier(CommId::WORLD);
+                }))
+            };
+            let pristine = run(None);
+            let noisy = run(Some(3));
+            let again = run(Some(3));
+            assert_eq!(noisy.finish, again.finish);
+            // jitter only ever adds time
+            assert!(noisy.makespan() > pristine.makespan());
+        }
+
+        #[test]
+        fn link_faults_detour_and_complete() {
+            let prog = ring_exchange(256 * 1024);
+            let mut a = sim(bluegene_p(), 64, ExecMode::Vn);
+            let pristine = a.run(&prog);
+            let mut b = sim(bluegene_p(), 64, ExecMode::Vn);
+            b.set_faults(&FaultPlan::new(11, FaultProfile::Link));
+            let faulty = b.try_run(&prog).expect("detours should keep the job alive");
+            assert!(faulty.makespan() >= pristine.makespan());
+            assert_eq!(faulty.bytes_sent, pristine.bytes_sent);
+        }
+
+        #[test]
+        fn exhausted_retransmits_stall_with_diagnosis() {
+            let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+            // force every attempt to drop: budget must run out
+            s.faults = Some(FaultContext {
+                link_faults: None,
+                noise: None,
+                loss: Some(LossModel::with_rates(1, 1.0, 8)),
+                retransmit: RetransmitPolicy::default(),
+            });
+            let err = s
+                .try_run(&FnProgram(|mpi: &mut Mpi| {
+                    if mpi.rank() == 0 {
+                        mpi.send(1, 7, 4096);
+                    } else {
+                        mpi.recv(0, 7, 4096);
+                    }
+                }))
+                .expect_err("total loss must stall");
+            match err {
+                SimError::Stalled { rank, peer, tag, bytes, lost } => {
+                    assert_eq!((rank, peer, tag, bytes), (0, 1, 7, 4096));
+                    assert!(lost > RetransmitPolicy::default().max_retries);
+                }
+                other => panic!("expected a stall, got {other}"),
+            }
+            assert!(err.to_string().contains("retransmit budget exhausted"));
+        }
+
+        #[test]
+        fn fault_runs_are_reproducible() {
+            let run = || {
+                let mut s = sim(bluegene_p(), 32, ExecMode::Vn);
+                s.set_faults(&FaultPlan::new(42, FaultProfile::Mixed));
+                s.try_run(&FnProgram(|mpi: &mut Mpi| {
+                    let next = (mpi.rank() + 1) % mpi.size();
+                    let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                    mpi.sendrecv(next, 0, 4096, prev, 0, 4096);
+                    mpi.allreduce(CommId::WORLD, 8, DType::F64);
+                }))
+            };
+            match (run(), run()) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.finish, y.finish);
+                    assert_eq!(x.bytes_sent, y.bytes_sent);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("fault runs diverged between executions"),
+            }
+        }
     }
 }

@@ -20,4 +20,4 @@ pub mod collectives;
 pub mod p2p;
 
 pub use collectives::{CollectiveModel, CollectiveOp, DType};
-pub use p2p::{FlowHandle, FlowTracker, P2pModel};
+pub use p2p::{FlowHandle, FlowTracker, P2pModel, RetransmitPolicy};

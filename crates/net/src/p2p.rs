@@ -26,7 +26,7 @@
 
 use hpcsim_engine::SimTime;
 use hpcsim_machine::MachineSpec;
-use hpcsim_topo::{LinkId, RouteSegs, Torus3D};
+use hpcsim_topo::{LinkHealth, LinkId, RouteSegs, Torus3D};
 
 /// A registered in-flight flow; pass back to [`FlowTracker::release`].
 ///
@@ -82,6 +82,11 @@ pub struct FlowTracker {
     /// Reusable difference-array scratch for [`FlowTracker::acquire_phase`]
     /// (one slot per node plus a sentinel for runs ending at a ring seam).
     phase_diff: Vec<i32>,
+    /// Release-without-acquire events absorbed in release builds (debug
+    /// builds assert instead). Saturating at zero keeps the counters
+    /// meaningful after a bookkeeping bug; the count is surfaced as a
+    /// probe gauge so the corruption is visible rather than silent.
+    underflows: u64,
 }
 
 impl FlowTracker {
@@ -93,7 +98,14 @@ impl FlowTracker {
             node_tx: vec![0; torus.nodes()],
             node_rx: vec![0; torus.nodes()],
             phase_diff: Vec::new(),
+            underflows: 0,
         }
+    }
+
+    /// Number of underflowing releases absorbed so far (always 0 in
+    /// debug builds, which assert on the first one).
+    pub fn underflows(&self) -> u64 {
+        self.underflows
     }
 
     /// Register a flow over `segs` from `src_node` to `dst_node`;
@@ -133,8 +145,13 @@ impl FlowTracker {
             h.dst_node,
             h.segs.hops(),
         );
-        self.node_tx[h.src_node] -= 1;
-        self.node_rx[h.dst_node] -= 1;
+        let mut bad = 0u64;
+        for counter in [&mut self.node_tx[h.src_node], &mut self.node_rx[h.dst_node]] {
+            match counter.checked_sub(1) {
+                Some(v) => *counter = v,
+                None => bad += 1,
+            }
+        }
         let (src_node, dst_node) = (h.src_node, h.dst_node);
         self.walk_links(h.segs, |link, c| {
             debug_assert!(
@@ -146,8 +163,18 @@ impl FlowTracker {
                 src_node,
                 dst_node,
             );
-            *c -= 1;
+            match c.checked_sub(1) {
+                Some(v) => *c = v,
+                None => bad += 1,
+            }
         });
+        if bad > 0 {
+            self.underflows += bad;
+            eprintln!(
+                "hpcsim-net: flow release underflow ({bad} counters) for flow \
+                 {src_node} -> {dst_node}; counters saturated at zero"
+            );
+        }
     }
 
     /// Apply `f(link_index, counter)` to the link counter of every link
@@ -241,8 +268,12 @@ impl FlowTracker {
                 h.src_node,
                 h.dst_node,
             );
-            self.node_tx[h.src_node] -= 1;
-            self.node_rx[h.dst_node] -= 1;
+            for counter in [&mut self.node_tx[h.src_node], &mut self.node_rx[h.dst_node]] {
+                match counter.checked_sub(1) {
+                    Some(v) => *counter = v,
+                    None => self.underflows += 1,
+                }
+            }
         }
         self.phase_apply(flows, -1);
     }
@@ -350,7 +381,13 @@ impl FlowTracker {
                             node * 6 + dir,
                             *c,
                         );
-                        *c = (*c as i32 + acc) as u32;
+                        let v = *c as i64 + acc as i64;
+                        if v < 0 {
+                            self.underflows += v.unsigned_abs();
+                            *c = 0;
+                        } else {
+                            *c = v as u32;
+                        }
                         peak = peak.max(*c);
                     }
                     pos += 1;
@@ -393,6 +430,50 @@ impl FlowTracker {
         self.link_flows.iter().all(|&c| c == 0)
             && self.node_tx.iter().all(|&c| c == 0)
             && self.node_rx.iter().all(|&c| c == 0)
+    }
+}
+
+/// Bounded retransmit-with-backoff semantics for lost messages.
+///
+/// Under fault injection a message may lose its first few transmission
+/// attempts. Each lost attempt costs the sender one rendezvous timeout
+/// plus an exponentially growing backoff before the retry goes out;
+/// [`RetransmitPolicy::penalty`] converts a loss count into that total
+/// delay, or reports the retransmit budget exhausted (`None`) so the
+/// replay engine can diagnose a stall instead of wedging its event
+/// queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// Time before a lost attempt is declared dead.
+    pub timeout: SimTime,
+    /// Base backoff; attempt `k` waits `backoff * 2^k` extra.
+    pub backoff: SimTime,
+    /// Attempts beyond the first allowed before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            timeout: SimTime::from_us(50),
+            backoff: SimTime::from_us(10),
+            max_retries: 6,
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// Total delay added by `lost` consecutive lost attempts, or `None`
+    /// when `lost` exceeds the retry budget (a stall).
+    pub fn penalty(&self, lost: u32) -> Option<SimTime> {
+        if lost > self.max_retries {
+            return None;
+        }
+        let mut t = SimTime::ZERO;
+        for k in 0..lost {
+            t = t + self.timeout + self.backoff * (1u64 << k.min(16));
+        }
+        Some(t)
     }
 }
 
@@ -487,6 +568,51 @@ impl P2pModel {
         let bw = self.wire_bw / self.share_divisor(load);
         let t = self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw);
         (t, Some(handle))
+    }
+
+    /// Fault-aware variant of [`P2pModel::wire_time_contended`]: routes
+    /// around dead links via the topo detour router and derates the
+    /// bandwidth by the worst surviving link's health factor. Returns up
+    /// to two flow handles (a dog-leg detour occupies two route legs),
+    /// both of which the caller must release at completion, or `None`
+    /// when no route survives the outages (the destination is cut off).
+    ///
+    /// With an all-healthy map this is exactly the legacy path: one
+    /// direct leg, full bandwidth, identical timing.
+    #[allow(clippy::type_complexity)]
+    pub fn wire_time_contended_avoiding<H: LinkHealth>(
+        &self,
+        tracker: &mut FlowTracker,
+        health: &H,
+        src_node: usize,
+        dst_node: usize,
+        bytes: u64,
+    ) -> Option<(SimTime, Option<FlowHandle>, Option<FlowHandle>)> {
+        if src_node == dst_node {
+            let t = self.shm_latency + SimTime::from_secs(bytes as f64 / self.shm_bw);
+            return Some((t, None, None));
+        }
+        let src = self.torus.coord(src_node);
+        let dst = self.torus.coord(dst_node);
+        let detour = self.torus.route_segs_avoiding(src, dst, health)?;
+        let hops = detour.hops();
+        let legs = detour.legs();
+        // A dog-leg is modelled as two chained legs meeting at the
+        // waypoint node, so the source's injection port is not charged
+        // twice for what is one flow.
+        let (h1, h2, load) = if legs.len() == 2 {
+            let way = self.torus.index(legs[1].start);
+            let (h1, load1) = tracker.acquire(legs[0], src_node, way);
+            let (h2, load2) = tracker.acquire(legs[1], way, dst_node);
+            (h1, Some(h2), load1.max(load2))
+        } else {
+            let (h1, load1) = tracker.acquire(legs[0], src_node, dst_node);
+            (h1, None, load1)
+        };
+        let derate = detour.min_bw_factor(&self.torus, health);
+        let bw = self.wire_bw * derate / self.share_divisor(load);
+        let t = self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw);
+        Some((t, Some(h1), h2))
     }
 
     /// Zero-byte handshake time along an already-acquired flow's path —
@@ -699,5 +825,118 @@ mod tests {
         let delta = (far - near).as_secs();
         assert!((delta - 11.0 * 64e-9).abs() < 1e-9, "delta {delta}");
         let _ = Direction::XPlus; // silence unused import lint paths
+    }
+
+    #[test]
+    fn retransmit_penalty_grows_then_exhausts() {
+        let p = RetransmitPolicy::default();
+        assert_eq!(p.penalty(0), Some(SimTime::ZERO));
+        let one = p.penalty(1).unwrap();
+        let two = p.penalty(2).unwrap();
+        assert!(one > SimTime::ZERO);
+        assert!(two > one * 2, "backoff must grow faster than linear");
+        assert!(p.penalty(p.max_retries).is_some());
+        assert_eq!(p.penalty(p.max_retries + 1), None, "budget exhausted is a stall");
+    }
+
+    /// Dead-link stub for the fault-aware wire-time tests.
+    struct DeadSet(Vec<LinkId>);
+
+    impl hpcsim_topo::LinkHealth for DeadSet {
+        fn is_dead(&self, link: LinkId) -> bool {
+            self.0.contains(&link)
+        }
+
+        fn bw_factor(&self, _link: LinkId) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn fault_free_avoiding_matches_legacy_wire_time() {
+        let m = bgp_model();
+        let mut legacy = FlowTracker::new(m.torus());
+        let mut faulty = FlowTracker::new(m.torus());
+        for &(a, b) in &[(0usize, 1usize), (0, 511), (3, 3), (100, 37)] {
+            let (t_legacy, h_legacy) = m.wire_time_contended(&mut legacy, a, b, 1 << 16);
+            let (t, h1, h2) = m
+                .wire_time_contended_avoiding(&mut faulty, &hpcsim_topo::AllHealthy, a, b, 1 << 16)
+                .expect("healthy torus always routes");
+            assert_eq!(t, t_legacy, "pair {a}->{b}");
+            assert_eq!(h1, h_legacy);
+            assert_eq!(h2, None, "direct routes have a single leg");
+            if let Some(h) = h_legacy {
+                legacy.release(h);
+            }
+            if let Some(h) = h1 {
+                faulty.release(h);
+            }
+        }
+        assert!(faulty.is_quiescent());
+    }
+
+    #[test]
+    fn dead_link_detour_is_slower_but_completes() {
+        let m = bgp_model();
+        let t3 = *m.torus();
+        let a = t3.index([0, 0, 0]);
+        let b = t3.index([3, 0, 0]);
+        let dead: Vec<LinkId> = t3.route(t3.coord(a), t3.coord(b)).into_iter().take(1).collect();
+        let health = DeadSet(dead);
+        let mut tracker = FlowTracker::new(&t3);
+        let (t, h1, h2) =
+            m.wire_time_contended_avoiding(&mut tracker, &health, a, b, 1 << 20).unwrap();
+        assert!(t >= m.wire_time(a, b, 1 << 20), "detour can't beat the direct route");
+        for h in [h1, h2].into_iter().flatten() {
+            tracker.release(h);
+        }
+        assert!(tracker.is_quiescent(), "all detour legs must release cleanly");
+    }
+
+    #[test]
+    fn cut_off_destination_reports_no_route() {
+        let m = bgp_model();
+        let t3 = *m.torus();
+        let a = t3.index([0, 0, 0]);
+        let dead: Vec<LinkId> = (0..6).map(|d| LinkId(a * 6 + d)).collect();
+        let health = DeadSet(dead);
+        let mut tracker = FlowTracker::new(&t3);
+        assert!(m.wire_time_contended_avoiding(&mut tracker, &health, a, 1, 64).is_none());
+        assert!(tracker.is_quiescent(), "a failed route must not leak registrations");
+        // the on-node path does not touch the torus at all
+        assert!(m.wire_time_contended_avoiding(&mut tracker, &health, a, a, 64).is_some());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn double_release_asserts_in_debug() {
+        let t = Torus3D::new([4, 4, 4]);
+        let mut tracker = FlowTracker::new(&t);
+        let segs = t.route_segs([0, 0, 0], [2, 0, 0]);
+        let (h, _) = tracker.acquire(segs, 0, t.index([2, 0, 0]));
+        tracker.release(h);
+        tracker.release(h); // second release must assert
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn double_release_saturates_in_release() {
+        let t = Torus3D::new([4, 4, 4]);
+        let mut tracker = FlowTracker::new(&t);
+        let segs = t.route_segs([0, 0, 0], [2, 0, 0]);
+        let dst = t.index([2, 0, 0]);
+        let (h, _) = tracker.acquire(segs, 0, dst);
+        tracker.release(h);
+        tracker.release(h); // absorbed: counters saturate, underflows counted
+        assert!(tracker.underflows() > 0, "underflow must be counted, not silent");
+        assert_eq!(tracker.tx_load(0), 0);
+        assert_eq!(tracker.rx_load(dst), 0);
+        assert!(tracker.is_quiescent(), "saturation must not wrap counters");
+        // and a fresh acquire still accounts correctly afterwards
+        let (h2, load) = tracker.acquire(segs, 0, dst);
+        assert_eq!(load, 1);
+        tracker.release(h2);
+        assert!(tracker.is_quiescent());
     }
 }

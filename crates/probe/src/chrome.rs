@@ -192,47 +192,70 @@ pub struct TraceStats {
 // is a no-op shim, so validation parses by hand).
 // ---------------------------------------------------------------------
 
+/// Maximum container nesting depth [`parse_json`] accepts. The traces
+/// this crate emits nest three levels deep; the limit exists so
+/// adversarial input exhausts the error path, not the call stack.
+pub const MAX_JSON_DEPTH: usize = 64;
+
+/// A parsed JSON value (the dependency-free validation parser's output).
 #[derive(Debug, Clone, PartialEq)]
-enum JVal {
-    Obj(Vec<(String, JVal)>),
-    Arr(Vec<JVal>),
+pub enum JsonValue {
+    Obj(Vec<(String, JsonValue)>),
+    Arr(Vec<JsonValue>),
     Str(String),
     Num(f64),
     Bool(bool),
     Null,
 }
 
-impl JVal {
-    fn get(&self, key: &str) -> Option<&JVal> {
+impl JsonValue {
+    /// Field lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
-            JVal::Num(n) => Some(*n),
+            JsonValue::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
-            JVal::Str(s) => Some(s),
+            JsonValue::Str(s) => Some(s),
             _ => None,
         }
     }
+}
+
+/// Parse a complete JSON document. Rejects trailing bytes, nesting past
+/// [`MAX_JSON_DEPTH`], and every malformation with `Err` — never a
+/// panic (a fuzz suite in `tests/fuzz_chrome.rs` pins this).
+pub fn parse_json(json: &str) -> Result<JsonValue, String> {
+    let mut p = Parser::new(json);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes after JSON value at byte {}", p.i));
+    }
+    Ok(root)
 }
 
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Self {
-        Parser { b: s.as_bytes(), i: 0 }
+        Parser { b: s.as_bytes(), i: 0, depth: 0 }
     }
 
     fn err<T>(&self, msg: &str) -> Result<T, String> {
@@ -259,20 +282,27 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<JVal, String> {
+    fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JVal::Str(self.string()?)),
-            Some(b't') => self.literal("true", JVal::Bool(true)),
-            Some(b'f') => self.literal("false", JVal::Bool(false)),
-            Some(b'n') => self.literal("null", JVal::Null),
+            Some(b'{') | Some(b'[') => {
+                self.depth += 1;
+                if self.depth > MAX_JSON_DEPTH {
+                    return self.err(&format!("nesting deeper than {MAX_JSON_DEPTH}"));
+                }
+                let v = if self.b[self.i] == b'{' { self.object() } else { self.array() };
+                self.depth -= 1;
+                v
+            }
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => self.err("expected a value"),
         }
     }
 
-    fn literal(&mut self, lit: &str, v: JVal) -> Result<JVal, String> {
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
         self.skip_ws();
         if self.b[self.i..].starts_with(lit.as_bytes()) {
             self.i += lit.len();
@@ -282,12 +312,12 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<JVal, String> {
+    fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.i += 1;
-            return Ok(JVal::Obj(fields));
+            return Ok(JsonValue::Obj(fields));
         }
         loop {
             let key = self.string()?;
@@ -297,19 +327,19 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
-                    return Ok(JVal::Obj(fields));
+                    return Ok(JsonValue::Obj(fields));
                 }
                 _ => return self.err("expected ',' or '}'"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<JVal, String> {
+    fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.i += 1;
-            return Ok(JVal::Arr(items));
+            return Ok(JsonValue::Arr(items));
         }
         loop {
             items.push(self.value()?);
@@ -317,7 +347,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
-                    return Ok(JVal::Arr(items));
+                    return Ok(JsonValue::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
             }
@@ -378,7 +408,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<JVal, String> {
+    fn number(&mut self) -> Result<JsonValue, String> {
         self.skip_ws();
         let start = self.i;
         if self.b.get(self.i) == Some(&b'-') {
@@ -392,7 +422,7 @@ impl<'a> Parser<'a> {
             self.i += 1;
         }
         let txt = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
-        txt.parse::<f64>().map(JVal::Num).or_else(|_| self.err("bad number"))
+        txt.parse::<f64>().map(JsonValue::Num).or_else(|_| self.err("bad number"))
     }
 }
 
@@ -405,13 +435,8 @@ impl<'a> Parser<'a> {
 /// * `B`/`E` events nest and match by name, with no stack left open;
 /// * `X` durations are non-negative.
 pub fn validate_trace(json: &str) -> Result<TraceStats, String> {
-    let mut p = Parser::new(json);
-    let root = p.value()?;
-    p.skip_ws();
-    if p.i != p.b.len() {
-        return Err(format!("trailing bytes after JSON value at byte {}", p.i));
-    }
-    let Some(JVal::Arr(events)) = root.get("traceEvents") else {
+    let root = parse_json(json)?;
+    let Some(JsonValue::Arr(events)) = root.get("traceEvents") else {
         return Err("missing traceEvents array".into());
     };
 
@@ -424,17 +449,17 @@ pub fn validate_trace(json: &str) -> Result<TraceStats, String> {
     for (idx, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
-            .and_then(JVal::as_str)
+            .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("event {idx}: missing ph"))?;
         if ph == "M" {
-            ev.get("name").and_then(JVal::as_str).ok_or(format!("event {idx}: M without name"))?;
+            ev.get("name").and_then(JsonValue::as_str).ok_or(format!("event {idx}: M without name"))?;
             continue;
         }
         if !matches!(ph, "B" | "E" | "X") {
             return Err(format!("event {idx}: unsupported ph {ph:?}"));
         }
         let num = |key: &str| {
-            ev.get(key).and_then(JVal::as_num).ok_or(format!("event {idx}: missing {key}"))
+            ev.get(key).and_then(JsonValue::as_num).ok_or(format!("event {idx}: missing {key}"))
         };
         let pid = num("pid")? as i64;
         let tid = num("tid")? as i64;
@@ -444,7 +469,7 @@ pub fn validate_trace(json: &str) -> Result<TraceStats, String> {
         }
         let name = ev
             .get("name")
-            .and_then(JVal::as_str)
+            .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("event {idx}: missing name"))?;
         let track = tracks
             .entry((pid, tid))

@@ -28,7 +28,9 @@ pub mod chrome;
 pub mod metrics;
 pub mod recorder;
 
-pub use chrome::{chrome_trace, trace_csv, validate_trace, TraceStats};
+pub use chrome::{
+    chrome_trace, parse_json, trace_csv, validate_trace, JsonValue, TraceStats, MAX_JSON_DEPTH,
+};
 pub use metrics::{metrics_report_json, MetricValue, MetricsRegistry};
 pub use recorder::{LinkUse, RingRecorder, TimeBreakdown};
 
@@ -38,7 +40,7 @@ use hpcsim_engine::SimTime;
 pub const NO_PEER: u32 = u32::MAX;
 
 /// What a span measures. The first six kinds live on a rank's *cpu*
-/// track and tile `[0, finish]` without gaps or overlaps; the last three
+/// track and tile `[0, finish]` without gaps or overlaps; the rest
 /// live on the rank's *net* track and may overlap the cpu track (they
 /// describe in-flight network state, not processor time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +64,9 @@ pub enum SpanKind {
     Rendezvous,
     /// Unexpected-message copy on the receiver (late-posted receive).
     UnexpectedCopy,
+    /// Retransmit delay under fault injection: timeout + backoff spent
+    /// re-sending lost attempts before the payload finally goes out.
+    Retransmit,
 }
 
 impl SpanKind {
@@ -77,12 +82,19 @@ impl SpanKind {
             SpanKind::MsgWire => "msg_wire",
             SpanKind::Rendezvous => "rendezvous",
             SpanKind::UnexpectedCopy => "unexpected_copy",
+            SpanKind::Retransmit => "retransmit",
         }
     }
 
     /// True for spans on the cpu track (they tile the rank clock).
     pub fn is_cpu(self) -> bool {
-        !matches!(self, SpanKind::MsgWire | SpanKind::Rendezvous | SpanKind::UnexpectedCopy)
+        !matches!(
+            self,
+            SpanKind::MsgWire
+                | SpanKind::Rendezvous
+                | SpanKind::UnexpectedCopy
+                | SpanKind::Retransmit
+        )
     }
 }
 
@@ -143,15 +155,29 @@ pub enum GaugeId {
     PostedMatchDepth = 1,
     /// Peak live unexpected-arrival entries on any rank's match table.
     ArrivedMatchDepth = 2,
+    /// Dead torus links in the active fault plan (0 without faults).
+    LinkOutages = 3,
+    /// Total lost transmission attempts replayed under fault injection.
+    Retransmits = 4,
+    /// Flow-counter release underflows absorbed by the tracker (a
+    /// bookkeeping bug surfaced instead of silently wrapping).
+    FlowUnderflows = 5,
 }
 
 /// Number of distinct [`GaugeId`] values (recorder storage size).
-pub const GAUGE_COUNT: usize = 3;
+pub const GAUGE_COUNT: usize = 6;
 
 impl GaugeId {
     /// All gauges, in storage order.
     pub fn all() -> [GaugeId; GAUGE_COUNT] {
-        [GaugeId::EventQueueDepth, GaugeId::PostedMatchDepth, GaugeId::ArrivedMatchDepth]
+        [
+            GaugeId::EventQueueDepth,
+            GaugeId::PostedMatchDepth,
+            GaugeId::ArrivedMatchDepth,
+            GaugeId::LinkOutages,
+            GaugeId::Retransmits,
+            GaugeId::FlowUnderflows,
+        ]
     }
 
     /// Metric name for JSON export.
@@ -160,6 +186,9 @@ impl GaugeId {
             GaugeId::EventQueueDepth => "event_queue_depth_peak",
             GaugeId::PostedMatchDepth => "posted_match_depth_peak",
             GaugeId::ArrivedMatchDepth => "arrived_match_depth_peak",
+            GaugeId::LinkOutages => "link_outages",
+            GaugeId::Retransmits => "retransmits",
+            GaugeId::FlowUnderflows => "flow_underflows",
         }
     }
 }
@@ -215,7 +244,12 @@ mod tests {
             SpanKind::Wait,
             SpanKind::CollectiveWait,
         ];
-        let net = [SpanKind::MsgWire, SpanKind::Rendezvous, SpanKind::UnexpectedCopy];
+        let net = [
+            SpanKind::MsgWire,
+            SpanKind::Rendezvous,
+            SpanKind::UnexpectedCopy,
+            SpanKind::Retransmit,
+        ];
         assert!(cpu.iter().all(|k| k.is_cpu()));
         assert!(net.iter().all(|k| !k.is_cpu()));
     }

@@ -57,6 +57,10 @@ pub struct TimeBreakdown {
     pub handshake: SimTime,
     /// Unexpected-message copies.
     pub copy: SimTime,
+    /// Retransmit timeout + backoff under fault injection. Not part of
+    /// [`TimeBreakdown::fields`]: the report table keeps its pristine
+    /// eight columns, and this is zero unless faults are active.
+    pub retransmit: SimTime,
 }
 
 impl TimeBreakdown {
@@ -70,6 +74,7 @@ impl TimeBreakdown {
         contention: SimTime::ZERO,
         handshake: SimTime::ZERO,
         copy: SimTime::ZERO,
+        retransmit: SimTime::ZERO,
     };
 
     /// Total processor time (equals the sum of per-rank finish times
@@ -195,6 +200,7 @@ impl RingRecorder {
                 }
                 SpanKind::Rendezvous => b.handshake += d,
                 SpanKind::UnexpectedCopy => b.copy += d,
+                SpanKind::Retransmit => b.retransmit += d,
             }
         }
         b
@@ -396,6 +402,18 @@ mod tests {
         assert_eq!(m1.unexpected(), 1);
         assert_eq!(m1.gauge_value(GaugeId::EventQueueDepth), 9);
         assert_eq!(m1.link_deltas().len(), 1);
+    }
+
+    #[test]
+    fn retransmit_spans_bucket_separately() {
+        let mut r = RingRecorder::new();
+        r.span(span(0, SpanKind::Retransmit, 0, 3));
+        let b = r.breakdown();
+        assert_eq!(b.retransmit, SimTime::from_us(3));
+        assert_eq!(b.cpu_total(), SimTime::ZERO, "retransmit is net-track time");
+        // the pristine report table keeps its eight columns
+        assert_eq!(b.fields().len(), 8);
+        assert!(b.fields().iter().all(|(name, _)| *name != "retransmit"));
     }
 
     #[test]

@@ -26,5 +26,7 @@ pub mod tree;
 pub use grid::{Grid2D, Grid3D};
 pub use mapping::Mapping;
 pub use partition::{alloc_torus_dims, torus_dims, Placement};
-pub use torus::{Coord, Direction, LinkId, RouteSegs, SegLinks, Torus3D};
+pub use torus::{
+    AllHealthy, Coord, Direction, DetourSegs, LinkHealth, LinkId, RouteSegs, SegLinks, Torus3D,
+};
 pub use tree::CollectiveTree;

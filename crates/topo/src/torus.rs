@@ -227,6 +227,163 @@ impl Torus3D {
     }
 }
 
+/// Link-health oracle consulted by fault-aware routing. Implemented by
+/// the fault-injection layer (`hpcsim-faults`); the all-healthy default
+/// makes every fault-aware path collapse to the pristine one.
+pub trait LinkHealth {
+    /// True when `link` is down and must not carry traffic.
+    fn is_dead(&self, link: LinkId) -> bool;
+
+    /// Bandwidth derating for `link` in `(0, 1]` (1.0 = full speed).
+    /// Only meaningful for live links.
+    fn bw_factor(&self, link: LinkId) -> f64;
+}
+
+/// The trivial [`LinkHealth`]: every link up at full bandwidth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllHealthy;
+
+impl LinkHealth for AllHealthy {
+    #[inline]
+    fn is_dead(&self, _link: LinkId) -> bool {
+        false
+    }
+
+    #[inline]
+    fn bw_factor(&self, _link: LinkId) -> f64 {
+        1.0
+    }
+}
+
+/// A fault-aware route: one or two [`RouteSegs`] legs chained end to
+/// end. One leg is the common case (the direct dimension-ordered route,
+/// or a ring-direction flip around a dead link); two legs appear when
+/// the route must dog-leg through an intermediate waypoint. Like
+/// `RouteSegs` it is a fixed-size `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetourSegs {
+    legs: [RouteSegs; 2],
+    n: u8,
+}
+
+impl DetourSegs {
+    fn single(leg: RouteSegs) -> Self {
+        DetourSegs { legs: [leg, leg], n: 1 }
+    }
+
+    fn pair(a: RouteSegs, b: RouteSegs) -> Self {
+        DetourSegs { legs: [a, b], n: 2 }
+    }
+
+    /// The route legs in traversal order.
+    pub fn legs(&self) -> &[RouteSegs] {
+        &self.legs[..self.n as usize]
+    }
+
+    /// Total hop count over all legs.
+    pub fn hops(&self) -> usize {
+        self.legs().iter().map(|l| l.hops()).sum()
+    }
+
+    /// True when this is the plain direct route (a single leg).
+    pub fn is_direct(&self) -> bool {
+        self.n == 1
+    }
+
+    /// Iterate every traversed link, leg by leg.
+    pub fn links<'a>(&self, torus: &'a Torus3D) -> impl Iterator<Item = LinkId> + 'a {
+        let legs: Vec<RouteSegs> = self.legs().to_vec();
+        legs.into_iter().flat_map(move |l| l.links(torus))
+    }
+
+    /// Smallest bandwidth derating over the route's links (1.0 when the
+    /// route is empty).
+    pub fn min_bw_factor<H: LinkHealth>(&self, torus: &Torus3D, health: &H) -> f64 {
+        let mut f = 1.0f64;
+        for leg in self.legs() {
+            for l in leg.links(torus) {
+                f = f.min(health.bw_factor(l));
+            }
+        }
+        f
+    }
+}
+
+impl Torus3D {
+    fn segs_clean<H: LinkHealth>(&self, segs: RouteSegs, health: &H) -> bool {
+        segs.links(self).all(|l| !health.is_dead(l))
+    }
+
+    /// Dimension-ordered route from `a` to `b` that avoids dead links,
+    /// or `None` when every candidate detour is blocked.
+    ///
+    /// The search is deterministic and bounded:
+    ///
+    /// 1. the direct route (identical to [`Torus3D::route_segs`]) if
+    ///    clean — so on a fault-free torus this function *is* the legacy
+    ///    router, which the property tests pin;
+    /// 2. ring-direction flips: each nonzero dimension may go the long
+    ///    way around its ring (≤ 8 sign combinations, in a fixed order);
+    /// 3. single-waypoint dog-legs through each of the source's six
+    ///    neighbours (two legs, each leg checked clean).
+    pub fn route_segs_avoiding<H: LinkHealth>(
+        &self,
+        a: Coord,
+        b: Coord,
+        health: &H,
+    ) -> Option<DetourSegs> {
+        let direct = self.route_segs(a, b);
+        if self.segs_clean(direct, health) {
+            return Some(DetourSegs::single(direct));
+        }
+        // Ring-direction flips: offs[d] -> offs[d] - sign * n goes the
+        // other way around ring d. mask bit d set = flip dimension d.
+        for mask in 1u8..8 {
+            let mut offs = direct.offs;
+            let mut valid = true;
+            for (d, off) in offs.iter_mut().enumerate() {
+                if mask & (1 << d) == 0 {
+                    continue;
+                }
+                let n = self.dims[d] as i32;
+                if *off == 0 || n < 2 {
+                    valid = false; // nothing to flip in this dimension
+                    break;
+                }
+                *off -= off.signum() * n;
+            }
+            if !valid {
+                continue;
+            }
+            let cand = RouteSegs { start: a, offs };
+            if self.segs_clean(cand, health) {
+                return Some(DetourSegs::single(cand));
+            }
+        }
+        // Dog-leg through each neighbour of the source, in direction
+        // order (deterministic).
+        for dir_idx in 0..6usize {
+            let dim = dir_idx / 2;
+            let step: isize = if dir_idx % 2 == 0 { 1 } else { -1 };
+            let n = self.dims[dim] as isize;
+            if n < 2 {
+                continue;
+            }
+            let mut w = a;
+            w[dim] = ((a[dim] as isize + step).rem_euclid(n)) as usize;
+            if w == a || w == b {
+                continue;
+            }
+            let leg1 = self.route_segs(a, w);
+            let leg2 = self.route_segs(w, b);
+            if self.segs_clean(leg1, health) && self.segs_clean(leg2, health) {
+                return Some(DetourSegs::pair(leg1, leg2));
+            }
+        }
+        None
+    }
+}
+
 /// A dimension-ordered torus route in compact form: the origin plus one
 /// signed ring offset per dimension — at most three ring segments, never
 /// more state than four words. Unlike [`Torus3D::route`], which
@@ -494,6 +651,107 @@ mod tests {
         assert_eq!(segs.offs, [4, -1, 1]);
         assert!(!segs.is_empty());
         assert!(t.route_segs([1, 2, 3], [1, 2, 3]).is_empty());
+    }
+
+    /// Deterministic link-health stub for detour tests.
+    struct DeadSet(Vec<LinkId>);
+
+    impl LinkHealth for DeadSet {
+        fn is_dead(&self, link: LinkId) -> bool {
+            self.0.contains(&link)
+        }
+
+        fn bw_factor(&self, _link: LinkId) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn detour_on_healthy_torus_is_the_direct_route() {
+        for dims in [[4, 3, 1], [2, 2, 2], [5, 4, 3]] {
+            let t = Torus3D::new(dims);
+            for a in 0..t.nodes() {
+                for b in 0..t.nodes() {
+                    let (ca, cb) = (t.coord(a), t.coord(b));
+                    let d = t.route_segs_avoiding(ca, cb, &AllHealthy).expect("healthy route");
+                    assert!(d.is_direct(), "{ca:?}->{cb:?}");
+                    assert_eq!(d.legs()[0], t.route_segs(ca, cb));
+                    assert_eq!(d.hops(), t.hops(ca, cb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detour_avoids_a_dead_link() {
+        let t = Torus3D::new([4, 4, 4]);
+        let a = [0, 0, 0];
+        let b = [2, 0, 0];
+        // kill the first link of the direct route
+        let dead = DeadSet(t.route(a, b)[..1].to_vec());
+        let d = t.route_segs_avoiding(a, b, &dead).expect("detour must exist");
+        for l in d.links(&t) {
+            assert!(!dead.is_dead(l), "detour uses dead link {l:?}");
+        }
+        // detours are longer than (or equal to) the shortest path
+        assert!(d.hops() >= t.hops(a, b));
+        // the route still chains from a to b: check endpoint of last leg
+        let last = d.legs().last().unwrap();
+        let parts = last.segments(&t);
+        let mut end = parts[2].0;
+        let n = t.dims[2] as i32;
+        end[2] = (end[2] as i32 + parts[2].1).rem_euclid(n) as usize;
+        assert_eq!(end, b);
+    }
+
+    #[test]
+    fn detour_falls_back_to_dog_leg() {
+        let t = Torus3D::new([4, 4, 1]);
+        let a = [0, 0, 0];
+        let b = [2, 0, 0];
+        // kill both X directions out of the source so every ring-flip
+        // candidate in X is blocked; the route must leave through Y
+        let dead = DeadSet(vec![
+            LinkId::new(t.index(a), Direction::XPlus),
+            LinkId::new(t.index(a), Direction::XMinus),
+        ]);
+        let d = t.route_segs_avoiding(a, b, &dead).expect("dog-leg must exist");
+        assert!(!d.is_direct());
+        for l in d.links(&t) {
+            assert!(!dead.is_dead(l));
+        }
+    }
+
+    #[test]
+    fn fully_blocked_source_has_no_route() {
+        let t = Torus3D::new([3, 3, 3]);
+        let a = [0, 0, 0];
+        let dead = DeadSet((0..6).map(|dir| LinkId(t.index(a) * 6 + dir)).collect());
+        assert!(t.route_segs_avoiding(a, [1, 1, 1], &dead).is_none());
+    }
+
+    #[test]
+    fn min_bw_factor_takes_the_worst_link() {
+        struct Slow(LinkId);
+        impl LinkHealth for Slow {
+            fn is_dead(&self, _l: LinkId) -> bool {
+                false
+            }
+            fn bw_factor(&self, l: LinkId) -> f64 {
+                if l == self.0 {
+                    0.25
+                } else {
+                    1.0
+                }
+            }
+        }
+        let t = Torus3D::new([4, 4, 4]);
+        let a = [0, 0, 0];
+        let b = [2, 0, 0];
+        let slow = Slow(t.route(a, b)[1]);
+        let d = t.route_segs_avoiding(a, b, &slow).unwrap();
+        assert!((d.min_bw_factor(&t, &slow) - 0.25).abs() < 1e-12);
+        assert!((d.min_bw_factor(&t, &AllHealthy) - 1.0).abs() < 1e-12);
     }
 
     #[test]

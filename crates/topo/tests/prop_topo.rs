@@ -156,3 +156,72 @@ proptest! {
         }
     }
 }
+
+mod detour {
+    use hpcsim_topo::{AllHealthy, LinkHealth, LinkId, Torus3D};
+    use proptest::prelude::*;
+
+    fn torus_strategy() -> impl Strategy<Value = Torus3D> {
+        (1usize..10, 1usize..10, 1usize..10).prop_map(|(x, y, z)| Torus3D::new([x, y, z]))
+    }
+
+    /// One dead link, derived deterministically from a seed.
+    struct OneDead(LinkId);
+
+    impl LinkHealth for OneDead {
+        fn is_dead(&self, link: LinkId) -> bool {
+            link == self.0
+        }
+
+        fn bw_factor(&self, _link: LinkId) -> f64 {
+            1.0
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// On a fault-free topology the detour router IS the legacy
+        /// dimension-ordered router: a single direct leg whose link
+        /// sequence equals the materialized `route()` oracle.
+        #[test]
+        fn detour_matches_oracle_when_fault_free(
+            t in torus_strategy(), a_seed: usize, b_seed: usize
+        ) {
+            let a = t.coord(a_seed % t.nodes());
+            let b = t.coord(b_seed % t.nodes());
+            let d = t.route_segs_avoiding(a, b, &AllHealthy).expect("healthy torus routes");
+            prop_assert!(d.is_direct());
+            prop_assert_eq!(&d.legs()[0], &t.route_segs(a, b));
+            let links: Vec<_> = d.links(&t).collect();
+            prop_assert_eq!(links, t.route(a, b));
+        }
+
+        /// With one dead link, any returned detour avoids it, chains from
+        /// source to destination, and never shortcuts below the metric.
+        #[test]
+        fn detour_avoids_dead_and_terminates(
+            t in torus_strategy(), a_seed: usize, b_seed: usize, dead_seed: usize
+        ) {
+            let a = t.coord(a_seed % t.nodes());
+            let b = t.coord(b_seed % t.nodes());
+            let health = OneDead(LinkId(dead_seed % t.links()));
+            if let Some(d) = t.route_segs_avoiding(a, b, &health) {
+                prop_assert!(d.hops() >= t.hops(a, b));
+                let mut cur = t.index(a);
+                for l in d.links(&t) {
+                    prop_assert!(!health.is_dead(l), "detour crossed the dead link");
+                    prop_assert_eq!(l.node(), cur, "detour chain break");
+                    let c = t.coord(cur);
+                    let dim = l.direction_index() / 2;
+                    let step: isize = if l.direction_index() % 2 == 0 { 1 } else { -1 };
+                    let n = t.dims[dim] as isize;
+                    let mut c2 = c;
+                    c2[dim] = ((c[dim] as isize + step).rem_euclid(n)) as usize;
+                    cur = t.index(c2);
+                }
+                prop_assert_eq!(cur, t.index(b), "detour must end at destination");
+            }
+        }
+    }
+}

@@ -35,6 +35,8 @@ pub use hpcsim_apps as apps;
 pub use hpcsim_core as core;
 /// Discrete-event simulation primitives.
 pub use hpcsim_engine as engine;
+/// Deterministic fault plans: link outages, OS noise, message loss.
+pub use hpcsim_faults as faults;
 /// HPCC / HALO / IMB / TOP500 benchmark programs (Tables 2, Figures 1–3).
 pub use hpcsim_hpcc as hpcc;
 /// I/O-node forwarding and parallel-filesystem model.

@@ -1,0 +1,31 @@
+//! Fault injection is deterministic: the same seed must produce the
+//! same faults — and therefore the same resilience summary — at any
+//! worker count. This is the cross-crate version of the `repro` CLI
+//! smoke: it drives the battery through the public umbrella API.
+
+use bgp_eval::core::{resilience_battery, set_jobs, Scale};
+
+#[test]
+fn same_seed_is_identical_at_any_worker_count() {
+    set_jobs(1);
+    let seq = resilience_battery(42, Scale::Quick, false);
+    set_jobs(4);
+    let par = resilience_battery(42, Scale::Quick, false);
+    set_jobs(0); // back to auto for any tests that follow
+
+    assert!(seq.all_ok() && par.all_ok(), "healthy battery must not report errors");
+    assert_eq!(
+        seq.table.render(),
+        par.table.render(),
+        "fault schedule must not depend on the worker count"
+    );
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    let a = resilience_battery(1, Scale::Quick, false);
+    let b = resilience_battery(2, Scale::Quick, false);
+    assert!(a.all_ok() && b.all_ok());
+    // compare the CSV bodies: the rendered titles already differ by seed
+    assert_ne!(a.table.to_csv(), b.table.to_csv(), "the seed must actually steer the faults");
+}
