@@ -18,7 +18,7 @@
 //!   yields "relatively higher parallel efficiencies".
 
 use hpcsim_machine::{ExecMode, MachineSpec, Workload};
-use hpcsim_mpi::{CommId, FnProgram, Mpi, SimConfig, TraceSim};
+use hpcsim_mpi::{CommId, FnProgram, Mpi, SimConfig, SweepEngine, TraceDag, TraceSim};
 use hpcsim_net::DType;
 use hpcsim_topo::Grid3D;
 use serde::Serialize;
@@ -85,19 +85,55 @@ pub struct MdResult {
     pub ns_per_day: f64,
 }
 
+/// Record the MD proxy's trace on `ranks` tasks. The trace depends only
+/// on the rank count and configuration — not the machine — so one
+/// recording serves every machine in a comparison scan.
+pub fn md_traces(ranks: usize, cfg: &MdConfig) -> Vec<Vec<hpcsim_mpi::Op>> {
+    let prog = cfg.clone();
+    TraceSim::trace_program(
+        &FnProgram(move |mpi: &mut Mpi| {
+            let grid = Grid3D::near_cube(mpi.size());
+            for step in 0..prog.steps {
+                record_step(mpi, &prog, grid, step);
+            }
+        }),
+        ranks,
+        1,
+    )
+}
+
 /// Run the MD proxy on `ranks` tasks in VN mode.
 pub fn md_run(machine: &MachineSpec, ranks: usize, cfg: &MdConfig) -> MdResult {
-    let mut sim = TraceSim::new(SimConfig::new(machine.clone(), ranks, ExecMode::Vn));
-    let prog = cfg.clone();
-    let res = sim.run(&FnProgram(move |mpi: &mut Mpi| {
-        let grid = Grid3D::near_cube(mpi.size());
-        for step in 0..prog.steps {
-            record_step(mpi, &prog, grid, step);
-        }
-    }));
-    let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
-    // 1 fs per step -> ns/day = 86400 / (s/step) * 1e-6
-    MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }
+    md_run_machines(std::slice::from_ref(machine), ranks, cfg).remove(0)
+}
+
+/// Run the MD proxy on every machine in `machines` (the Fig 8 scan
+/// shape) from one recorded trace. Under [`SweepEngine::Dag`] the trace
+/// is also compiled once and each contention-flat machine is evaluated
+/// in a single critical-path pass; contended machines (all the real
+/// Table 1 systems) fall back to event-queue replay, so results are
+/// identical under either engine selection.
+pub fn md_run_machines(machines: &[MachineSpec], ranks: usize, cfg: &MdConfig) -> Vec<MdResult> {
+    let traces = md_traces(ranks, cfg);
+    let engine = hpcsim_mpi::sweep_engine();
+    let dag = if engine == SweepEngine::Dag && machines.iter().any(TraceDag::exact_for) {
+        Some(TraceDag::compile_world(&traces))
+    } else {
+        None
+    };
+    machines
+        .iter()
+        .map(|machine| {
+            let sim_cfg = SimConfig::new(machine.clone(), ranks, ExecMode::Vn);
+            let res = match &dag {
+                Some(dag) if TraceDag::exact_for(machine) => dag.evaluate(&sim_cfg),
+                _ => TraceSim::new(sim_cfg).replay_traces(&traces),
+            };
+            let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
+            // 1 fs per step -> ns/day = 86400 / (s/step) * 1e-6
+            MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }
+        })
+        .collect()
 }
 
 /// [`md_run`] with an observability sink; also returns the raw replay
@@ -232,6 +268,28 @@ mod tests {
         let t_f = md_run(&bluegene_p(), 512, &frequent).seconds_per_step;
         let t_r = md_run(&bluegene_p(), 512, &rare).seconds_per_step;
         assert!(t_f > t_r, "frequent {t_f:.2e} vs rare {t_r:.2e}");
+    }
+
+    /// The machine-scan entry point returns exactly the per-machine
+    /// results, and the compiled DAG reproduces replay exactly on a
+    /// contention-flat machine (the MD trace exercises subround tags,
+    /// alltoalls, reductions and rendezvous ghost exchanges).
+    #[test]
+    fn machine_scan_matches_individual_runs() {
+        let machines = [bluegene_p(), xt4_dc()];
+        let cfg = MdConfig::pmemd_rub();
+        let scanned = md_run_machines(&machines, 64, &cfg);
+        for (m, s) in machines.iter().zip(&scanned) {
+            let solo = md_run(m, 64, &cfg);
+            assert_eq!(solo.seconds_per_step, s.seconds_per_step);
+        }
+        let flat = bluegene_p().with_flat_contention();
+        let traces = md_traces(64, &cfg);
+        let sim_cfg = SimConfig::new(flat, 64, ExecMode::Vn);
+        let replay = TraceSim::new(sim_cfg.clone()).replay_traces(&traces);
+        let dag = TraceDag::compile_world(&traces).evaluate(&sim_cfg);
+        assert_eq!(replay.finish, dag.finish);
+        assert_eq!(replay.busy, dag.busy);
     }
 
     /// ns/day sanity: hundreds of atoms per rank at 1 fs steps lands in

@@ -13,6 +13,8 @@
 //! repro fig2 --faults 42    # fault injection (mixed profile) + the
 //!                           # resilience battery and resilience.csv
 //! repro fig2 --faults 42 --fault-profile link
+//! repro fig2 --sweep-engine dag  # DAG sweep engine (same output, less
+//!                           # time on mapping/machine scans)
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -21,14 +23,15 @@
 //! available core); results are assembled in a fixed order, so the
 //! artifacts are byte-identical regardless of the worker count.
 
-use hpcsim_bench::{bench_json_report, PhaseTiming, RunFlags};
-use hpcsim_core::{run_experiment, set_jobs, ExperimentId, Scale};
+use hpcsim_bench::{bench_json_report, PhaseTiming, RunFlags, SweepReport};
+use hpcsim_core::{run_experiment, set_jobs, set_sweep_engine, ExperimentId, Scale, SweepEngine};
 use hpcsim_faults::{FaultPlan, FaultProfile};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] [--bench-timestamp TS] \
+         [--sweep-engine replay|dag] \
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
          [--faults SEED] [--fault-profile link|noise|loss|mixed] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
@@ -67,6 +70,10 @@ fn main() {
     }
     if let Some(n) = flags.jobs {
         set_jobs(n);
+    }
+    if let Some(name) = &flags.sweep_engine {
+        let engine = SweepEngine::parse(name).expect("RunFlags::parse validated the engine");
+        set_sweep_engine(engine);
     }
     let scale = if flags.paper { Scale::Paper } else { Scale::Quick };
     let out_dir = &flags.out;
@@ -150,12 +157,33 @@ fn main() {
     );
     if let Some(path) = &flags.bench_json {
         let scale_name = if flags.paper { "paper" } else { "quick" };
+        // Race both sweep engines over the Fig 2(c,d) mapping scan on a
+        // contention-flat BG/P so the DAG speedup (and exactness) is
+        // tracked with every recorded report.
+        let s = hpcsim_core::fig2_mapping_sweep(scale);
+        let sweep = SweepReport {
+            points: s.points,
+            replay_seconds: s.replay_seconds,
+            dag_seconds: s.dag_seconds,
+            dag_nodes: s.dag_nodes,
+            dag_edges: s.dag_edges,
+            engines_agree: s.engines_agree,
+        };
+        println!(
+            "# fig2 mapping sweep: {} points; replay {:.3}s, dag {:.3}s ({:.1}x); engines agree: {}",
+            sweep.points,
+            sweep.replay_seconds,
+            sweep.dag_seconds,
+            sweep.speedup(),
+            sweep.engines_agree
+        );
         let report = bench_json_report(
             scale_name,
             hpcsim_core::jobs(),
             &timings,
             total,
             flags.bench_timestamp.as_deref(),
+            Some(&sweep),
         );
         match std::fs::write(path, report) {
             Ok(()) => println!("# wall-clock report: {}", path.display()),

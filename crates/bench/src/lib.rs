@@ -52,9 +52,18 @@ pub struct RunFlags {
     /// `--fault-profile NAME`: which fault ingredients the armed plan
     /// enables (default `mixed`). Must be one of [`FAULT_PROFILES`].
     pub fault_profile: Option<String>,
+    /// `--sweep-engine NAME`: how mapping/machine sweeps evaluate their
+    /// points (default `replay`). Must be one of [`SWEEP_ENGINES`].
+    /// `dag` compiles each trace to a task DAG and critical-path
+    /// evaluates wherever that is provably exact, falling back to
+    /// replay elsewhere — output is byte-identical either way.
+    pub sweep_engine: Option<String>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
+
+/// Sweep engines the CLI accepts.
+pub const SWEEP_ENGINES: [&str; 2] = ["replay", "dag"];
 
 /// Fault profiles the CLI accepts. `selftest-panic` is the battery
 /// harness's self-test: it arms a `mixed` plan and additionally injects
@@ -83,6 +92,7 @@ impl RunFlags {
             bench_timestamp: None,
             fault_seed: None,
             fault_profile: None,
+            sweep_engine: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -126,6 +136,16 @@ impl RunFlags {
                         ));
                     }
                     flags.fault_profile = Some(v);
+                }
+                "--sweep-engine" => {
+                    let v = take_value(args, &mut i, "--sweep-engine")?;
+                    if !SWEEP_ENGINES.contains(&v.as_str()) {
+                        return Err(format!(
+                            "--sweep-engine: unknown engine {v:?} (expected one of {})",
+                            SWEEP_ENGINES.join("|")
+                        ));
+                    }
+                    flags.sweep_engine = Some(v);
                 }
                 other if other.starts_with('-') => {
                     return Err(format!("unknown flag {other:?}"));
@@ -172,6 +192,32 @@ pub struct PhaseTiming {
     pub seconds: f64,
 }
 
+/// The `fig2_mapping_sweep` entry of the schema-v3 report: both engines
+/// raced over the 32-point Fig 2(c,d) mapping scan on a contention-flat
+/// BG/P (where the DAG path is live).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepReport {
+    /// Sweep points per engine.
+    pub points: u64,
+    /// Per-point replay wall seconds.
+    pub replay_seconds: f64,
+    /// Compile-once DAG wall seconds (compilation included).
+    pub dag_seconds: f64,
+    /// Task nodes in the largest compiled DAG.
+    pub dag_nodes: u64,
+    /// Dependency edges in the largest compiled DAG.
+    pub dag_edges: u64,
+    /// Whether every point agreed bit-for-bit across engines.
+    pub engines_agree: bool,
+}
+
+impl SweepReport {
+    /// Replay-over-DAG wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.replay_seconds / self.dag_seconds.max(1e-12)
+    }
+}
+
 /// Render the `--bench-json` report. Hand-rolled so the harness stays
 /// dependency-free; the schema is flat enough that escaping never
 /// matters (names are slugs, numbers are finite).
@@ -181,11 +227,12 @@ pub fn bench_json_report(
     phases: &[PhaseTiming],
     total_seconds: f64,
     generated_at: Option<&str>,
+    sweep: Option<&SweepReport>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpcsim-bench-repro/2\",\n");
-    s.push_str("  \"schema_version\": 2,\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/3\",\n");
+    s.push_str("  \"schema_version\": 3,\n");
     match generated_at {
         // the stamp is injected by the harness (`--bench-timestamp`);
         // without one the report stays byte-reproducible
@@ -203,6 +250,20 @@ pub fn bench_json_report(
         ));
     }
     s.push_str("  ],\n");
+    match sweep {
+        Some(w) => {
+            s.push_str("  \"fig2_mapping_sweep\": {\n");
+            s.push_str(&format!("    \"points\": {},\n", w.points));
+            s.push_str(&format!("    \"replay_seconds\": {:.4},\n", w.replay_seconds));
+            s.push_str(&format!("    \"dag_seconds\": {:.4},\n", w.dag_seconds));
+            s.push_str(&format!("    \"speedup\": {:.2},\n", w.speedup()));
+            s.push_str(&format!("    \"dag_nodes\": {},\n", w.dag_nodes));
+            s.push_str(&format!("    \"dag_edges\": {},\n", w.dag_edges));
+            s.push_str(&format!("    \"engines_agree\": {}\n", w.engines_agree));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"fig2_mapping_sweep\": null,\n"),
+    }
     s.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
     s.push_str("}\n");
     s
@@ -304,12 +365,13 @@ mod tests {
             PhaseTiming { name: "table2".into(), seconds: 0.51 },
             PhaseTiming { name: "fig3".into(), seconds: 1.25 },
         ];
-        let s = bench_json_report("quick", 8, &phases, 1.76, None);
+        let s = bench_json_report("quick", 8, &phases, 1.76, None, None);
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
-        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/2\""));
-        assert!(s.contains("\"schema_version\": 2"));
+        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/3\""));
+        assert!(s.contains("\"schema_version\": 3"));
         assert!(s.contains("\"generated_at\": null"));
+        assert!(s.contains("\"fig2_mapping_sweep\": null"));
         assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
         assert!(s.contains("\"total_seconds\": 1.760"));
         // one comma between the two experiment entries, none after the last
@@ -319,8 +381,48 @@ mod tests {
 
     #[test]
     fn bench_json_records_harness_timestamp() {
-        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"));
+        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None);
         assert!(s.contains("\"generated_at\": \"2026-08-05T00:00:00Z\""));
+    }
+
+    #[test]
+    fn bench_json_records_sweep_entry() {
+        let sweep = SweepReport {
+            points: 32,
+            replay_seconds: 0.48,
+            dag_seconds: 0.012,
+            dag_nodes: 12_288,
+            dag_edges: 30_000,
+            engines_agree: true,
+        };
+        assert!(sweep.speedup() > 39.0 && sweep.speedup() < 41.0);
+        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep));
+        assert!(s.contains("\"fig2_mapping_sweep\": {"));
+        assert!(s.contains("\"points\": 32"));
+        assert!(s.contains("\"replay_seconds\": 0.4800"));
+        assert!(s.contains("\"dag_seconds\": 0.0120"));
+        assert!(s.contains("\"speedup\": 40.00"));
+        assert!(s.contains("\"dag_nodes\": 12288"));
+        assert!(s.contains("\"engines_agree\": true"));
+    }
+
+    #[test]
+    fn sweep_engine_flag_parses_and_validates() {
+        let args: Vec<String> =
+            ["--sweep-engine", "dag", "fig2"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid engine");
+        assert_eq!(f.sweep_engine.as_deref(), Some("dag"));
+        assert_eq!(f.positional, vec!["fig2".to_string()]);
+        let args: Vec<String> =
+            ["--sweep-engine", "replay"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(RunFlags::parse(&args).unwrap().sweep_engine.as_deref(), Some("replay"));
+        // unknown engine and dangling flag are one-line diagnostics
+        let args: Vec<String> =
+            ["--sweep-engine", "warp"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("unknown engine");
+        assert!(err.contains("warp") && err.contains("replay|dag"), "{err}");
+        let args: Vec<String> = ["--sweep-engine"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).unwrap_err().contains("missing value"));
     }
 
     #[test]

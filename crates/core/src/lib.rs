@@ -24,9 +24,12 @@ pub mod probe;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod sweep;
 
 pub use ablations::{ablation_table, run_ablations, Ablation};
 pub use experiment::{run_experiment, Artifact, ExperimentId, Scale};
+pub use hpcsim_mpi::{set_sweep_engine, sweep_engine, SweepEngine};
+pub use sweep::{fig2_mapping_sweep, MappingSweepStats};
 pub use probe::{
     breakdown_table, chrome_json, metrics_json, scenario_metrics, spans_csv, trace_experiment,
     trace_experiment_with, traceable, TraceReport, TracedScenario,

@@ -285,27 +285,31 @@ pub fn fig8(scale: Scale) -> Vec<Figure> {
 
     let cfgs = [apps::MdConfig::lammps_rub(), apps::MdConfig::pmemd_rub()];
     let machines = [bluegene_p(), xt3(), xt4_dc()];
-    let mut points: Vec<(usize, usize, usize)> = Vec::new();
+    // One scenario per (code, rank count) records the trace once and
+    // scans all three machines from it (the trace is machine-agnostic).
+    let mut points: Vec<(usize, usize)> = Vec::new();
     for ci in 0..cfgs.len() {
-        for mi in 0..machines.len() {
-            for &p in &procs {
-                points.push((ci, mi, p));
-            }
+        for &p in &procs {
+            points.push((ci, p));
         }
     }
-    let values =
-        parmap(&points, |&(ci, mi, p)| apps::md_run(&machines[mi], p, &cfgs[ci]).ns_per_day);
-    let mut it = values.into_iter();
+    let scans = parmap(&points, |&(ci, p)| apps::md_run_machines(&machines, p, &cfgs[ci]));
 
     let mut panels = Vec::new();
-    for title in [
+    for (ci, title) in [
         "Fig 8(a): LAMMPS, RuBisCO 290,220 atoms",
         "Fig 8(b): AMBER/PMEMD, RuBisCO 290,220 atoms",
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let mut f = Figure::new(title, "processes", "ns/day");
-        for label in ["BG/P", "XT3", "XT4/DC"] {
-            let pts: Vec<(f64, f64)> =
-                procs.iter().map(|&p| (p as f64, it.next().unwrap())).collect();
+        for (mi, label) in ["BG/P", "XT3", "XT4/DC"].into_iter().enumerate() {
+            let pts: Vec<(f64, f64)> = procs
+                .iter()
+                .enumerate()
+                .map(|(pi, &p)| (p as f64, scans[ci * procs.len() + pi][mi].ns_per_day))
+                .collect();
             f.push_series(label, pts);
         }
         panels.push(f);

@@ -14,7 +14,7 @@
 
 use hpcsim_engine::SimTime;
 use hpcsim_machine::{ExecMode, MachineSpec};
-use hpcsim_mpi::{FnProgram, Mpi, RankLayout, SimConfig, TraceSim};
+use hpcsim_mpi::{FnProgram, Mpi, RankLayout, SimConfig, SweepEngine, TraceDag, TraceSim};
 use hpcsim_net::{FlowHandle, FlowTracker};
 use hpcsim_topo::{Grid2D, Mapping};
 use serde::{Deserialize, Serialize};
@@ -113,7 +113,11 @@ pub fn halo_record_exchange(
     }
 }
 
-fn halo_traces(cfg: &HaloConfig) -> Vec<Vec<hpcsim_mpi::Op>> {
+/// Record the trace a HALO experiment replays: one rank program per
+/// grid cell, `reps` exchange rounds. The trace depends only on the
+/// virtual grid / words / protocol — not on machine, mapping or mode —
+/// which is what makes mapping sweeps cheap and DAG compilation sound.
+pub fn halo_traces(cfg: &HaloConfig) -> Vec<Vec<hpcsim_mpi::Op>> {
     let grid = cfg.grid;
     let (words, protocol, reps) = (cfg.words, cfg.protocol, cfg.reps);
     TraceSim::trace_program(
@@ -145,25 +149,73 @@ pub fn halo_run(
     halo_run_mapped(machine, mode, &[mapping], cfg)[0]
 }
 
-/// Run one HALO experiment under several rank→processor mappings. The
+/// Run one HALO experiment under several rank→processor mappings with
+/// the process-global sweep engine ([`hpcsim_mpi::sweep_engine`]). The
 /// trace depends only on the virtual grid / words / protocol — not the
-/// mapping — so it is recorded once and replayed per mapping, which is
-/// what makes Fig 2(c,d)'s mapping sweeps cheap.
+/// mapping — so it is recorded once and re-evaluated per mapping, which
+/// is what makes Fig 2(c,d)'s mapping sweeps cheap.
 pub fn halo_run_mapped(
     machine: &MachineSpec,
     mode: ExecMode,
     mappings: &[Mapping],
     cfg: &HaloConfig,
 ) -> Vec<f64> {
+    halo_run_mapped_with(machine, mode, mappings, cfg, hpcsim_mpi::sweep_engine())
+}
+
+/// [`halo_run_mapped`] with an explicit engine. [`SweepEngine::Dag`]
+/// compiles the trace once and evaluates each mapping in a single
+/// critical-path pass — but only where that is provably exact
+/// ([`TraceDag::exact_for`], i.e. contention-flat machines); on a
+/// contended machine it falls back to per-mapping replay, so results
+/// are identical under either engine selection.
+pub fn halo_run_mapped_with(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mappings: &[Mapping],
+    cfg: &HaloConfig,
+    engine: SweepEngine,
+) -> Vec<f64> {
+    halo_run_traces_with(machine, mode, mappings, cfg, &halo_traces(cfg), engine)
+}
+
+/// [`halo_run_mapped_with`] over traces the caller already recorded
+/// (they must be `halo_traces(cfg)`). Timed sweep harnesses use this to
+/// keep trace recording — identical work under either engine — out of
+/// both timed regions.
+pub fn halo_run_traces_with(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mappings: &[Mapping],
+    cfg: &HaloConfig,
+    traces: &[Vec<hpcsim_mpi::Op>],
+    engine: SweepEngine,
+) -> Vec<f64> {
     let ranks = cfg.grid.size();
-    let traces = halo_traces(cfg);
+    if engine == SweepEngine::Dag && TraceDag::exact_for(machine) {
+        let dag = TraceDag::compile_world(traces);
+        let cfg_pts: Vec<SimConfig> = mappings
+            .iter()
+            .map(|&mapping| SimConfig {
+                machine: machine.clone(),
+                mode,
+                threads: 1,
+                layout: halo_layout(machine, mode, mapping, ranks),
+            })
+            .collect();
+        return dag
+            .evaluate_many(&cfg_pts)
+            .iter()
+            .map(|res| res.makespan().as_secs() / cfg.reps as f64)
+            .collect();
+    }
     mappings
         .iter()
         .map(|&mapping| {
             let layout = halo_layout(machine, mode, mapping, ranks);
             let mut sim =
                 TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
-            sim.replay_traces(&traces).makespan().as_secs() / cfg.reps as f64
+            sim.replay_traces(traces).makespan().as_secs() / cfg.reps as f64
         })
         .collect()
 }
@@ -389,6 +441,25 @@ mod tests {
             halo_run_faulty(&m, ExecMode::Vn, Mapping::txyz(), &c, &plan).unwrap(),
             halo_run_faulty(&m, ExecMode::Vn, Mapping::txyz(), &c, &plan).unwrap(),
         );
+    }
+
+    /// The DAG sweep engine agrees with replay bit-for-bit across the
+    /// Fig 2 mapping set: exactly on a contention-flat machine (where
+    /// the DAG path is live), and trivially on the real contended BG/P
+    /// (where it falls back to replay).
+    #[test]
+    fn dag_engine_matches_replay_across_mappings() {
+        let grid = Grid2D::new(16, 8);
+        let mappings: Vec<Mapping> = Mapping::fig2_set().iter().map(|(_, m)| *m).collect();
+        for words in [8u64, 2048, 32_768] {
+            let c = cfg(grid, words, HaloProtocol::IrecvIsend);
+            for m in [bluegene_p().with_flat_contention(), bluegene_p()] {
+                let replay =
+                    halo_run_mapped_with(&m, ExecMode::Vn, &mappings, &c, SweepEngine::Replay);
+                let dag = halo_run_mapped_with(&m, ExecMode::Vn, &mappings, &c, SweepEngine::Dag);
+                assert_eq!(replay, dag, "words={words} flat={}", m.contention_flat());
+            }
+        }
     }
 
     /// The halo cost grows monotonically-ish with halo width.

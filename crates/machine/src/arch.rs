@@ -253,6 +253,23 @@ impl MachineSpec {
     pub fn cores_per_rack(&self) -> u32 {
         self.packaging.nodes_per_rack * self.cores_per_node
     }
+
+    /// True when the wire model's contended path collapses to the
+    /// contention-free one (infinite route diversity): sharing a link
+    /// never slows a flow down. On such a machine the DAG sweep engine
+    /// is exact against event-queue replay.
+    pub fn contention_flat(&self) -> bool {
+        self.nic.route_diversity.is_infinite()
+    }
+
+    /// A variant of this machine with idealized adaptive routing
+    /// (infinite route diversity), so link sharing is free and
+    /// [`MachineSpec::contention_flat`] holds. Used by fast-sweep
+    /// batteries and by tests that pin DAG-vs-replay exactness.
+    pub fn with_flat_contention(mut self) -> Self {
+        self.nic.route_diversity = f64::INFINITY;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1581 @@
+//! Trace → dependency-DAG compilation for fast parameter sweeps.
+//!
+//! The paper's headline figures are parameter scans: Fig 2(c,d) replays
+//! one HALO trace under 8 mappings × 2 core counts, and every
+//! machine-comparison panel re-simulates an identical communication
+//! structure with only the edge costs changed. A recorded trace's
+//! happens-before graph is invariant across those points, so a sweep
+//! point does not need the event queue at all: compile the trace once
+//! into a flat task DAG ([`TraceDag::compile`]), then evaluate each
+//! (machine, mapping, mode) point with a single linear pass that
+//! re-costs edges from `MachineSpec` + `RankLayout` and takes
+//! max-over-predecessors ([`TraceDag::evaluate`]).
+//!
+//! Node kinds mirror the trace ops one-to-one; the cross-rank edges are
+//!
+//! * **message edges** — the k-th send from `src` to `(dst, tag)` pairs
+//!   with the k-th receive posted at `dst` for `(src, tag)`, exactly the
+//!   replay engine's FIFO matching (arrivals on one channel cannot
+//!   overtake: equal payloads ride the same costs and injection times
+//!   strictly increase). Sends sharing (src rank, dst rank, bytes) are
+//!   deduplicated into *channels*, so a sweep point prices each distinct
+//!   route/payload combination once, not once per round — and the
+//!   payload sizes are themselves deduplicated into *byte classes*, so
+//!   the byte-dependent cost terms (serialization, rendezvous copy) are
+//!   priced once per distinct size, not once per route;
+//! * **collective super-nodes** — one instance per (comm, occurrence);
+//!   every member contributes an in-edge carrying its arrival clock and
+//!   receives an out-edge at `latest + duration`.
+//!
+//! Compilation ends by fixing one machine-independent topological order
+//! (the happens-before relation carries no costs), stored as a
+//! contiguous node stream plus (rank, length) runs. Evaluating a point
+//! is then a straight streaming pass — no worklist, no suspends, no
+//! hash lookups — which is where the order-of-magnitude sweep speedup
+//! comes from.
+//!
+//! ## When this is exact, and when replay remains the oracle
+//!
+//! Evaluation prices every message with the *contention-free* wire time.
+//! On a machine whose `route_diversity` is infinite (see
+//! [`MachineSpec::with_flat_contention`]) the replay's contended wire
+//! time collapses to exactly that value, and [`TraceDag::evaluate`]
+//! reproduces `TraceSim::replay_traces` bit-for-bit — per-rank finish
+//! and busy clocks, marks, byte/message counts (the property tests in
+//! `tests/prop_dag.rs` pin this). On a contended machine the DAG result
+//! is a lower-bound approximation, so the sweep entry points
+//! (`hpcc::halo_run_mapped`, the Fig 8 battery) automatically fall back
+//! to replay there: [`SweepEngine::Dag`] means "DAG where provably
+//! exact, replay otherwise", which keeps repro output byte-identical
+//! under either engine selection.
+//!
+//! One replay subtlety is worth naming: whether a message is
+//! *unexpected* (arrived before its receive was posted, paying a copy)
+//! depends on event order, not clock order — the arrival must pop
+//! before the receive's run *starts*. The evaluator therefore tracks
+//! each rank's run-start time (updated at blocking waits and collective
+//! exits) alongside its clock, and defers the unexpected-vs-posted
+//! decision to the consuming wait, where the paired arrival time is
+//! known. Suspending the receive itself would be wrong (cross-posted
+//! exchanges would self-deadlock); suspending only the wait reproduces
+//! the replay's happens-before relation, so every trace set the replay
+//! can finish, the evaluator finishes too.
+
+use crate::ops::Op;
+use crate::result::SimResult;
+use crate::sim::SimConfig;
+use hpcsim_engine::SimTime;
+use hpcsim_machine::{MachineSpec, NodeModel, Workload};
+use hpcsim_net::{CollectiveModel, CollectiveOp, P2pModel};
+use hpcsim_topo::{Coord, Torus3D};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which engine a parameter sweep uses per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// Event-queue replay for every point (the oracle).
+    #[default]
+    Replay,
+    /// DAG evaluation where it is provably exact (contention-flat
+    /// machines, no faults); automatic fallback to replay elsewhere.
+    Dag,
+}
+
+impl SweepEngine {
+    /// Parse a CLI value (`replay` | `dag`).
+    pub fn parse(s: &str) -> Option<SweepEngine> {
+        match s {
+            "replay" => Some(SweepEngine::Replay),
+            "dag" => Some(SweepEngine::Dag),
+            _ => None,
+        }
+    }
+
+    /// Display label (the CLI spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepEngine::Replay => "replay",
+            SweepEngine::Dag => "dag",
+        }
+    }
+}
+
+/// Process-global engine selection, like the runner's jobs knob: the
+/// `repro` binary sets it from `--sweep-engine` once, and every sweep
+/// entry point reads it. Default is [`SweepEngine::Replay`].
+static SWEEP_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Select the engine used by sweep entry points that don't take one
+/// explicitly.
+pub fn set_sweep_engine(engine: SweepEngine) {
+    SWEEP_ENGINE.store(engine as u8, Ordering::Relaxed);
+}
+
+/// The currently selected sweep engine.
+pub fn sweep_engine() -> SweepEngine {
+    match SWEEP_ENGINE.load(Ordering::Relaxed) {
+        0 => SweepEngine::Replay,
+        _ => SweepEngine::Dag,
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// One compiled task node; mirrors [`Op`] with matching resolved to
+/// integer message/channel/instance ids. Kept to 16 bytes — evaluation
+/// streams every node once per sweep point, so the fat payloads
+/// (workloads, byte sizes) live in side tables.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    /// `cost` indexes the compiled `(Workload, threads)` side table.
+    Compute { cost: u32 },
+    Delay { time: SimTime },
+    Send { chan: u32, msg: u32, req: u32 },
+    /// `chan`/`msg` are the *paired send's*; [`NONE`] when no send
+    /// matches (a wait on such a receive never completes, as in replay).
+    Recv { chan: u32, msg: u32, req: u32 },
+    Wait { req: u32 },
+    Coll { inst: u32 },
+    Mark { id: u32 },
+}
+
+/// A distinct (source rank, destination rank, payload) combination.
+/// Edge costs depend on nothing else, so evaluation prices each channel
+/// once per point and every message on it reuses the result; `class`
+/// indexes the deduplicated payload-size table, so byte-dependent terms
+/// are priced once per distinct size.
+#[derive(Debug, Clone, Copy)]
+struct Channel {
+    src: u32,
+    dst: u32,
+    class: u32,
+}
+
+/// One collective occurrence (super-node).
+#[derive(Debug, Clone, Copy)]
+struct CollSpec {
+    comm: u32,
+    /// Index into the deduplicated (comm, op) cost table.
+    cost: u32,
+}
+
+/// Per-point cost of one payload class: the byte-dependent terms of
+/// the wire model, priced once per distinct size and shared by every
+/// channel carrying it.
+struct ClassCost {
+    serial: SimTime,
+    shm_serial: SimTime,
+    copy: SimTime,
+    eager: bool,
+}
+
+/// Per-point cost of one channel (route geometry + payload class).
+struct ChanCost {
+    wire: SimTime,
+    rdv_extra: SimTime,
+    copy: SimTime,
+    eager: bool,
+}
+
+/// Machine-level cost tables: everything a sweep point needs that does
+/// not depend on the rank layout. Mappings only move ranks, so a
+/// mapping sweep builds these once and re-prices routes per point.
+struct MachCosts {
+    machine: MachineSpec,
+    ambient: f64,
+    /// The `class_bytes` the costs were priced for — the cache is
+    /// shared across DAGs (thread-local), so the byte-class table is
+    /// part of the key, not just the machine.
+    classes: Vec<u64>,
+    node_model: NodeModel,
+    class_costs: Vec<ClassCost>,
+    /// Rendezvous handshake round trip (zero-byte wire time plus both
+    /// overheads), route-independent part, off-node / same-node.
+    hs_off: SimTime,
+    hs_shm: SimTime,
+}
+
+/// Reusable evaluation state: cached machine tables plus the per-point
+/// scratch arrays. [`TraceDag::evaluate_many`] threads one of these
+/// through a whole sweep so points after the first allocate nothing.
+#[derive(Default)]
+struct EvalCtx {
+    mach: Option<MachCosts>,
+    torus: Option<Torus3D>,
+    coords: Vec<Coord>,
+    chan_costs: Vec<ChanCost>,
+    run_start: Vec<SimTime>,
+    req_val: Vec<SimTime>,
+    req_msg: Vec<u32>,
+    req_chan: Vec<u32>,
+    msg_arrive: Vec<SimTime>,
+    msg_post: Vec<(SimTime, SimTime)>,
+    inst_arrived: Vec<u32>,
+    inst_latest: Vec<SimTime>,
+    // lane-batched pass (`evaluate_lanes`): timing state widened to L
+    // interleaved lanes; structural state stays in the scalar arrays
+    lane_chan: Vec<(SimTime, SimTime)>,
+    chan_copy: Vec<SimTime>,
+    chan_eager: Vec<bool>,
+    lane_req_val: Vec<SimTime>,
+    lane_msg_arrive: Vec<SimTime>,
+    lane_msg_post: Vec<(SimTime, SimTime)>,
+    lane_run_start: Vec<SimTime>,
+    lane_inst_latest: Vec<SimTime>,
+}
+
+/// A fixed topological order: the contiguous node stream, the
+/// (rank, length) runs tiling it, and any structural deadlock as
+/// (stuck-rank count, example rank, its op index).
+type Schedule = (Vec<Node>, Vec<(u32, u32)>, Option<(usize, usize, usize)>);
+
+/// Structure counts of a compiled DAG (for benches and reports).
+#[derive(Debug, Clone, Copy)]
+pub struct DagStats {
+    /// Task nodes (one per trace op).
+    pub nodes: u64,
+    /// Dependency edges: intra-rank program order + message pairs +
+    /// collective membership (in and out).
+    pub edges: u64,
+    /// Distinct (src, dst, bytes) channels.
+    pub channels: u64,
+    /// Matched point-to-point messages.
+    pub messages: u64,
+    /// Collective super-nodes.
+    pub collectives: u64,
+}
+
+/// A trace set compiled to a flat task DAG. Arena-style storage: every
+/// cross-reference is an integer id into a `Vec`, nothing is allocated
+/// per node at evaluation time beyond the per-point scratch arrays.
+#[derive(Debug, Clone)]
+pub struct TraceDag {
+    ranks: usize,
+    n_nodes: u64,
+    /// Task nodes in one fixed machine-independent topological order;
+    /// the happens-before relation is cost-free, so every evaluation is
+    /// a single linear sweep over this stream.
+    stream: Vec<Node>,
+    /// `(rank, length)` runs tiling `stream`: each run is a maximal
+    /// stretch one rank executes without blocking on another.
+    runs: Vec<(u32, u32)>,
+    /// Flat request arena offsets (`req_base[r] + Req.0`).
+    req_base: Vec<u32>,
+    channels: Vec<Channel>,
+    /// Sorted distinct payload sizes; `Channel::class` indexes this.
+    class_bytes: Vec<u64>,
+    /// Side table for [`Node::Compute`] (adjacent-duplicate compressed:
+    /// a rank repeating one workload shares a single entry).
+    compute_costs: Vec<(Workload, u32)>,
+    n_msgs: u32,
+    insts: Vec<CollSpec>,
+    /// Deduplicated (comm, op) pairs; evaluation prices each once.
+    coll_costs: Vec<(u32, CollectiveOp)>,
+    comms: Vec<Vec<usize>>,
+    /// Structural deadlock, detected once at compile time:
+    /// `(unfinished rank count, example rank, example op index)`.
+    deadlock: Option<(usize, usize, usize)>,
+    total_bytes: u64,
+    total_msgs: u64,
+    seq_edges: u64,
+    msg_edges: u64,
+    coll_edges: u64,
+}
+
+impl TraceDag {
+    /// True when DAG evaluation is exact on `machine`: the wire model's
+    /// contended path collapses to the contention-free one (infinite
+    /// route diversity), so a topological pass reproduces the replay
+    /// bit-for-bit. Sweep entry points use this to fall back to replay.
+    pub fn exact_for(machine: &MachineSpec) -> bool {
+        machine.contention_flat()
+    }
+
+    /// Compile traces that only use `CommId::WORLD`.
+    pub fn compile_world(traces: &[Vec<Op>]) -> TraceDag {
+        Self::compile(traces, &[(0..traces.len()).collect()])
+    }
+
+    /// Compile one trace per rank into a task DAG. `comms[0]` must be
+    /// the world communicator; further entries mirror the ids handed
+    /// out by `TraceSim::register_comm`. Compilation is independent of
+    /// machine, mapping and mode — the same DAG serves every sweep
+    /// point.
+    pub fn compile(traces: &[Vec<Op>], comms: &[Vec<usize>]) -> TraceDag {
+        let n = traces.len();
+        assert!(
+            !comms.is_empty() && comms[0].len() == n,
+            "comm 0 must be the world communicator"
+        );
+        let total_ops: usize = traces.iter().map(|t| t.len()).sum();
+        assert!(total_ops < NONE as usize, "trace too large for u32 node ids");
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(total_ops);
+        let mut rank_ofs: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut req_counts: Vec<u32> = vec![0; n];
+        // Matching is sort-based on packed integer keys: hashing every
+        // endpoint through a general-purpose map costs more than the
+        // rest of compilation combined, and fat tuple keys sort several
+        // times slower than u128s. Each send/receive contributes
+        // src·2⁹⁶ | dst·2⁶⁴ | tag·2³² | node — the node id in the low
+        // bits makes an unstable sort order-preserving per key, and
+        // per-key node order IS the replay's FIFO posting order,
+        // because one rank owns each side of a key.
+        let mut send_keys: Vec<(u128, u64)> = Vec::with_capacity(total_ops / 4);
+        let mut recv_keys: Vec<u128> = Vec::with_capacity(total_ops / 4);
+        let mut compute_costs: Vec<(Workload, u32)> = Vec::new();
+        let mut coll_seq: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut inst_ids: Vec<Vec<u32>> = vec![Vec::new(); comms.len()];
+        let mut insts: Vec<CollSpec> = Vec::new();
+        let mut inst_ops: Vec<CollectiveOp> = Vec::new();
+        let mut total_bytes = 0u64;
+        let mut total_msgs = 0u64;
+        let mut seq_edges = 0u64;
+        let mut coll_edges = 0u64;
+
+        for (r, trace) in traces.iter().enumerate() {
+            rank_ofs.push(nodes.len() as u32);
+            seq_edges += trace.len().saturating_sub(1) as u64;
+            let note_req = |req_counts: &mut Vec<u32>, req: crate::ops::Req| {
+                if req.0 >= req_counts[r] {
+                    req_counts[r] = req.0 + 1;
+                }
+                req.0
+            };
+            for op in trace {
+                let idx = nodes.len() as u32;
+                match *op {
+                    Op::Compute { work, threads } => {
+                        let cost = match compute_costs.last() {
+                            Some(&(w, t)) if w == work && t == threads => {
+                                compute_costs.len() - 1
+                            }
+                            _ => {
+                                compute_costs.push((work, threads));
+                                compute_costs.len() - 1
+                            }
+                        };
+                        nodes.push(Node::Compute { cost: cost as u32 });
+                    }
+                    Op::Delay { time } => nodes.push(Node::Delay { time }),
+                    Op::Isend { dst, tag, bytes, req } => {
+                        assert!(dst < n, "rank {r}: isend to out-of-range rank {dst}");
+                        let (src, dst) = (r as u128, dst as u128);
+                        send_keys.push((
+                            (src << 96) | (dst << 64) | ((tag as u128) << 32) | idx as u128,
+                            bytes,
+                        ));
+                        let req = note_req(&mut req_counts, req);
+                        nodes.push(Node::Send { chan: NONE, msg: NONE, req });
+                        total_bytes += bytes;
+                        total_msgs += 1;
+                    }
+                    Op::Irecv { src, tag, bytes: _, req } => {
+                        assert!(src < n, "rank {r}: irecv from out-of-range rank {src}");
+                        recv_keys.push(
+                            ((src as u128) << 96) | ((r as u128) << 64) | ((tag as u128) << 32) | idx as u128,
+                        );
+                        let req = note_req(&mut req_counts, req);
+                        nodes.push(Node::Recv { chan: NONE, msg: NONE, req });
+                    }
+                    Op::Wait { req } => {
+                        let req = note_req(&mut req_counts, req);
+                        nodes.push(Node::Wait { req });
+                    }
+                    Op::Collective { comm, op } => {
+                        let cid = comm.0 as usize;
+                        assert!(cid < comms.len(), "rank {r}: collective on unregistered comm {cid}");
+                        let counters = &mut coll_seq[r];
+                        let pos = match counters.iter().position(|(c, _)| *c == comm.0) {
+                            Some(p) => p,
+                            None => {
+                                counters.push((comm.0, 0));
+                                counters.len() - 1
+                            }
+                        };
+                        let seq = counters[pos].1 as usize;
+                        counters[pos].1 += 1;
+                        let table = &mut inst_ids[cid];
+                        if table.len() <= seq {
+                            table.resize(seq + 1, NONE);
+                        }
+                        if table[seq] == NONE {
+                            table[seq] = insts.len() as u32;
+                            insts.push(CollSpec { comm: comm.0, cost: NONE });
+                            inst_ops.push(op);
+                        } else {
+                            assert_eq!(
+                                inst_ops[table[seq] as usize], op,
+                                "rank {r}: collective mismatch on comm {}",
+                                comm.0
+                            );
+                        }
+                        coll_edges += 2; // arrival in-edge + completion out-edge
+                        nodes.push(Node::Coll { inst: table[seq] });
+                    }
+                    Op::Mark { id } => nodes.push(Node::Mark { id }),
+                }
+            }
+        }
+        rank_ofs.push(nodes.len() as u32);
+
+        // One walk resolves both channel identity and FIFO pairing.
+        // Sorting groups sends by (src, dst) and orders them by tag
+        // then posting order; receives sort the same way, so the k-th
+        // send on each (src, dst, tag) key meets the k-th posted
+        // receive in a two-pointer walk — the replay's FIFO matching.
+        // Leftovers on either side stay unmatched, as in replay (an
+        // unconsumed send arrives into the void; a wait on an unpaired
+        // receive blocks). Channels are discovered along the way: one
+        // per distinct payload inside each (src, dst) group, tracked in
+        // a group-local table (groups are contiguous after the sort).
+        // Neither side needs a global sort. The scan appends rank-major,
+        // so send keys are already grouped by their leading src field —
+        // each rank's small block sorts independently. Receive keys are
+        // grouped by receiver (the key's *dst* field), so one stable
+        // counting scatter regroups them by src first; the in-bucket
+        // sort then yields the same global (src, dst, tag, posting)
+        // order the old full sorts produced, at a fraction of the cost.
+        {
+            let mut i = 0;
+            while i < send_keys.len() {
+                let src = send_keys[i].0 >> 96;
+                let mut j = i + 1;
+                while j < send_keys.len() && send_keys[j].0 >> 96 == src {
+                    j += 1;
+                }
+                send_keys[i..j].sort_unstable();
+                i = j;
+            }
+        }
+        {
+            let mut start = vec![0u32; n + 1];
+            for &k in &recv_keys {
+                start[(k >> 96) as usize + 1] += 1;
+            }
+            for s in 0..n {
+                start[s + 1] += start[s];
+            }
+            let mut scattered = vec![0u128; recv_keys.len()];
+            let mut cursor = start;
+            for &k in &recv_keys {
+                let s = (k >> 96) as usize;
+                scattered[cursor[s] as usize] = k;
+                cursor[s] += 1;
+            }
+            recv_keys = scattered;
+            let mut i = 0;
+            while i < recv_keys.len() {
+                let src = recv_keys[i] >> 96;
+                let mut j = i + 1;
+                while j < recv_keys.len() && recv_keys[j] >> 96 == src {
+                    j += 1;
+                }
+                recv_keys[i..j].sort_unstable();
+                i = j;
+            }
+        }
+        let mut channels: Vec<Channel> = Vec::new();
+        let mut chan_bytes: Vec<u64> = Vec::new();
+        let mut n_msgs = 0u32;
+        let mut msg_edges = 0u64;
+        let mut j = 0usize;
+        let mut cur_pair = u64::MAX;
+        let mut local: Vec<(u64, u32)> = Vec::new();
+        for &(skey, bytes) in &send_keys {
+            let pair = (skey >> 64) as u64; // src·2³² | dst
+            if pair != cur_pair {
+                cur_pair = pair;
+                local.clear();
+            }
+            let chan = match local.iter().find(|&&(b, _)| b == bytes) {
+                Some(&(_, c)) => c,
+                None => {
+                    let c = channels.len() as u32;
+                    channels.push(Channel {
+                        src: (pair >> 32) as u32,
+                        dst: pair as u32,
+                        class: NONE,
+                    });
+                    chan_bytes.push(bytes);
+                    local.push((bytes, c));
+                    c
+                }
+            };
+            let key = skey >> 32; // src | dst | tag
+            while j < recv_keys.len() && (recv_keys[j] >> 32) < key {
+                j += 1;
+            }
+            let mut msg = NONE;
+            if j < recv_keys.len() && (recv_keys[j] >> 32) == key {
+                let r_node = recv_keys[j] as u32;
+                j += 1;
+                msg = n_msgs;
+                n_msgs += 1;
+                msg_edges += 1;
+                if let Node::Recv { chan: rc, msg: rm, .. } = &mut nodes[r_node as usize] {
+                    *rc = chan;
+                    *rm = msg;
+                }
+            }
+            if let Node::Send { chan: c, msg: m, .. } = &mut nodes[skey as u32 as usize] {
+                *c = chan;
+                *m = msg;
+            }
+        }
+        // Collapse payload sizes into sorted byte classes.
+        let mut class_bytes = chan_bytes.clone();
+        class_bytes.sort_unstable();
+        class_bytes.dedup();
+        for (c, &b) in channels.iter_mut().zip(&chan_bytes) {
+            c.class = class_bytes.binary_search(&b).expect("class table covers channels") as u32;
+        }
+
+        // Deduplicate (comm, op) collective costs.
+        let mut coll_costs: Vec<(u32, CollectiveOp)> = Vec::new();
+        for (i, spec) in insts.iter_mut().enumerate() {
+            let op = inst_ops[i];
+            let pos = match coll_costs.iter().position(|&(c, o)| c == spec.comm && o == op) {
+                Some(p) => p,
+                None => {
+                    coll_costs.push((spec.comm, op));
+                    coll_costs.len() - 1
+                }
+            };
+            spec.cost = pos as u32;
+        }
+
+        let mut req_base = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &count in &req_counts {
+            req_base.push(acc);
+            acc += count;
+        }
+        req_base.push(acc);
+
+        let (stream, runs, deadlock) =
+            Self::schedule(n, &nodes, &rank_ofs, &req_base, n_msgs, &insts, comms);
+
+        TraceDag {
+            ranks: n,
+            n_nodes: total_ops as u64,
+            stream,
+            runs,
+            req_base,
+            channels,
+            class_bytes,
+            compute_costs,
+            n_msgs,
+            insts,
+            coll_costs,
+            comms: comms.to_vec(),
+            total_bytes,
+            total_msgs,
+            seq_edges,
+            msg_edges,
+            coll_edges,
+            deadlock,
+        }
+    }
+
+    /// Fix a topological evaluation order once, at compile time. The
+    /// happens-before relation (program order, message pairs,
+    /// collective membership) carries no costs, so one structural
+    /// worklist pass here buys every future evaluation a straight
+    /// linear sweep; the same pass detects structural deadlock (the
+    /// schedule simply never reaches the stuck ops). Returns the
+    /// ordered node stream, the (rank, length) runs tiling it, and any
+    /// deadlock.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule(
+        n: usize,
+        nodes: &[Node],
+        rank_ofs: &[u32],
+        req_base: &[u32],
+        n_msgs: u32,
+        insts: &[CollSpec],
+        comms: &[Vec<usize>],
+    ) -> Schedule {
+        /// Request already satisfiable when waited on (send requests,
+        /// consumed receive requests).
+        const RESOLVED: u32 = u32::MAX - 1;
+        let mut stream: Vec<Node> = Vec::with_capacity(nodes.len());
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        fn emit(stream: &mut Vec<Node>, runs: &mut Vec<(u32, u32)>, node: Node, r: u32) {
+            stream.push(node);
+            match runs.last_mut() {
+                Some((rank, len)) if *rank == r => *len += 1,
+                _ => runs.push((r, 1)),
+            }
+        }
+        let mut pc: Vec<usize> = (0..n).map(|r| rank_ofs[r] as usize).collect();
+        let mut req_state: Vec<u32> = vec![NONE; req_base[n] as usize];
+        let mut sent = vec![false; n_msgs as usize];
+        let mut msg_waiter: Vec<u32> = vec![NONE; n_msgs as usize];
+        let mut inst_arrived = vec![0u32; insts.len()];
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            Ready,
+            Susp,
+            Stuck,
+            Done,
+        }
+        let mut state = vec![St::Ready; n];
+        let mut stack: Vec<usize> = (0..n).rev().collect();
+        let mut done_count = 0usize;
+
+        while let Some(r) = stack.pop() {
+            if state[r] != St::Ready {
+                continue;
+            }
+            'advance: loop {
+                if pc[r] == rank_ofs[r + 1] as usize {
+                    state[r] = St::Done;
+                    done_count += 1;
+                    break 'advance;
+                }
+                let node = nodes[pc[r]];
+                match node {
+                    Node::Send { msg, req, .. } => {
+                        emit(&mut stream, &mut runs, node, r as u32);
+                        req_state[(req_base[r] + req) as usize] = RESOLVED;
+                        if msg != NONE {
+                            sent[msg as usize] = true;
+                            let w = msg_waiter[msg as usize];
+                            if w != NONE {
+                                state[w as usize] = St::Ready;
+                                stack.push(w as usize);
+                            }
+                        }
+                        pc[r] += 1;
+                    }
+                    Node::Recv { msg, req, .. } => {
+                        emit(&mut stream, &mut runs, node, r as u32);
+                        // NONE (no paired send) makes a later wait stick
+                        req_state[(req_base[r] + req) as usize] = msg;
+                        pc[r] += 1;
+                    }
+                    Node::Wait { req } => {
+                        let ri = (req_base[r] + req) as usize;
+                        match req_state[ri] {
+                            RESOLVED => {
+                                emit(&mut stream, &mut runs, node, r as u32);
+                                pc[r] += 1;
+                            }
+                            NONE => {
+                                // a receive nothing sends to, or a
+                                // request never created: blocks forever
+                                state[r] = St::Stuck;
+                                break 'advance;
+                            }
+                            m if sent[m as usize] => {
+                                req_state[ri] = RESOLVED;
+                                emit(&mut stream, &mut runs, node, r as u32);
+                                pc[r] += 1;
+                            }
+                            m => {
+                                // paired send not scheduled yet —
+                                // suspend; the send wakes us
+                                msg_waiter[m as usize] = r as u32;
+                                state[r] = St::Susp;
+                                break 'advance;
+                            }
+                        }
+                    }
+                    Node::Coll { inst } => {
+                        let i = inst as usize;
+                        emit(&mut stream, &mut runs, node, r as u32);
+                        inst_arrived[i] += 1;
+                        let members = &comms[insts[i].comm as usize];
+                        if (inst_arrived[i] as usize) < members.len() {
+                            state[r] = St::Susp;
+                            break 'advance;
+                        }
+                        // last member in: everyone else is parked on
+                        // exactly this node — step them all past it
+                        for &m in members {
+                            if m != r {
+                                pc[m] += 1;
+                                state[m] = St::Ready;
+                                stack.push(m);
+                            }
+                        }
+                        pc[r] += 1;
+                    }
+                    _ => {
+                        emit(&mut stream, &mut runs, node, r as u32);
+                        pc[r] += 1;
+                    }
+                }
+            }
+        }
+
+        let deadlock = if done_count < n {
+            let stuck: Vec<usize> = (0..n).filter(|&r| state[r] != St::Done).collect();
+            Some((stuck.len(), stuck[0], pc[stuck[0]] - rank_ofs[stuck[0]] as usize))
+        } else {
+            None
+        };
+        (stream, runs, deadlock)
+    }
+
+    /// Number of ranks compiled.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Structure counts, for benches and the sweep report.
+    pub fn stats(&self) -> DagStats {
+        DagStats {
+            nodes: self.n_nodes,
+            edges: self.seq_edges + self.msg_edges + self.coll_edges,
+            channels: self.channels.len() as u64,
+            messages: self.msg_edges,
+            collectives: self.insts.len() as u64,
+        }
+    }
+
+    /// Evaluate one (machine, mapping, mode) point: a single streaming
+    /// pass over the precompiled schedule, re-costing edges from `cfg`
+    /// — no event queue, no message matching, no worklist. Exact
+    /// against replay when [`TraceDag::exact_for`] holds for
+    /// `cfg.machine`; a contention-free lower bound otherwise.
+    ///
+    /// Panics with the replay engine's deadlock diagnostic when the
+    /// compiled traces cannot finish (the defect is structural, so it
+    /// was already detected at compile time).
+    pub fn evaluate(&self, cfg: &SimConfig) -> SimResult {
+        self.evaluate_in(cfg, &mut EvalCtx::default())
+    }
+
+    /// Evaluate a whole batch of points, identical to calling
+    /// [`TraceDag::evaluate`] on each but reusing the scratch arrays
+    /// and the machine-level cost tables across points — on a mapping
+    /// sweep everything but the route pricing and the streaming pass
+    /// itself is shared, so points after the first allocate nothing.
+    pub fn evaluate_many(&self, cfgs: &[SimConfig]) -> Vec<SimResult> {
+        /// Lane width of the batched pass: the Fig 2 mapping-set size,
+        /// and one cache line of `SimTime`s per request.
+        const L: usize = 8;
+        // Lanes share every machine-derived table, so a batch must
+        // agree on everything except the rank layout.
+        fn same_machine(a: &SimConfig, b: &SimConfig) -> bool {
+            a.machine == b.machine
+                && a.mode == b.mode
+                && a.threads == b.threads
+                && a.layout.torus == b.layout.torus
+                && a.layout.ambient_flows == b.layout.ambient_flows
+        }
+        // The scratch is thread-local so back-to-back sweeps (one call
+        // per halo config) reuse warmed allocations instead of
+        // page-faulting megabytes of fresh arrays per batch. Reuse
+        // across different DAGs is safe: every slot the pass reads is
+        // written earlier in the same pass, and the machine-table cache
+        // keys on the byte-class table as well as the machine.
+        thread_local! {
+            static CTX: std::cell::RefCell<EvalCtx> = std::cell::RefCell::new(EvalCtx::default());
+        }
+        CTX.with(|ctx| {
+            let ctx = &mut ctx.borrow_mut();
+            let mut out = Vec::with_capacity(cfgs.len());
+            let mut i = 0;
+            while i < cfgs.len() {
+                if cfgs.len() - i >= L
+                    && cfgs[i + 1..i + L].iter().all(|c| same_machine(&cfgs[i], c))
+                {
+                    self.evaluate_lanes::<L>(&cfgs[i..i + L], ctx, &mut out);
+                    i += L;
+                } else {
+                    out.push(self.evaluate_in(&cfgs[i], ctx));
+                    i += 1;
+                }
+            }
+            out
+        })
+    }
+
+    /// Ensure `mach` caches the machine-level tables for `cfg`
+    /// (byte-class costs, handshake constants, the node model) —
+    /// rebuilt only when the machine or ambient load actually changed,
+    /// which on a mapping sweep is never after the first point.
+    fn mach_costs<'a>(
+        &self,
+        cfg: &SimConfig,
+        p2p: &P2pModel,
+        mach: &'a mut Option<MachCosts>,
+    ) -> &'a MachCosts {
+        let ambient = cfg.layout.ambient_flows;
+        if mach.as_ref().is_none_or(|m| {
+            m.ambient != ambient || m.classes != self.class_bytes || m.machine != cfg.machine
+        }) {
+            let eager_threshold = cfg.machine.nic.eager_threshold;
+            let copy_bw = cfg.machine.mem.bw_bytes / 4.0;
+            let o_send = cfg.machine.nic.o_send;
+            let o_recv = cfg.machine.nic.o_recv;
+            *mach = Some(MachCosts {
+                machine: cfg.machine.clone(),
+                ambient,
+                classes: self.class_bytes.clone(),
+                node_model: NodeModel::new(cfg.machine.clone()),
+                class_costs: self
+                    .class_bytes
+                    .iter()
+                    .map(|&b| ClassCost {
+                        serial: p2p.serial_cost(b),
+                        shm_serial: p2p.shm_serial_cost(b),
+                        copy: SimTime::from_secs(b as f64 / copy_bw),
+                        eager: b <= eager_threshold,
+                    })
+                    .collect(),
+                // rendezvous handshake round trip: a zero-byte wire
+                // time plus both overheads (route-independent part)
+                hs_off: p2p.serial_cost(0) + o_send + o_recv,
+                hs_shm: p2p.shm_base() + p2p.shm_serial_cost(0) + o_send + o_recv,
+            });
+        }
+        mach.as_ref().expect("machine tables just ensured")
+    }
+
+    fn evaluate_in(&self, cfg: &SimConfig, ctx: &mut EvalCtx) -> SimResult {
+        let n = self.ranks;
+        assert_eq!(cfg.ranks(), n, "layout must place exactly the compiled ranks");
+        if let Some((count, rank, op)) = self.deadlock {
+            panic!("deadlock: {count} ranks did not finish, e.g. rank {rank} at op {op}");
+        }
+        let p2p =
+            P2pModel::new(&cfg.machine, cfg.layout.torus).with_ambient(cfg.layout.ambient_flows);
+        let o_send = cfg.machine.nic.o_send;
+        let o_recv = cfg.machine.nic.o_recv;
+
+        let EvalCtx {
+            mach,
+            torus: cached_torus,
+            coords,
+            chan_costs,
+            run_start,
+            req_val,
+            req_msg,
+            req_chan,
+            msg_arrive,
+            msg_post,
+            inst_arrived,
+            inst_latest,
+            ..
+        } = ctx;
+
+        // Re-cost the edge classes for this point. Byte-dependent terms
+        // are priced per payload class (a handful of float divides,
+        // cached while the machine is unchanged), routes per channel
+        // (integer hop geometry only), and coordinates once per torus —
+        // the split keeps the pricing loop free of floating point, and
+        // `SimTime`'s integer addition keeps it bit-identical to
+        // `P2pModel::wire_time`.
+        let mc = self.mach_costs(cfg, &p2p, mach);
+        let node_model = &mc.node_model;
+
+        let torus = p2p.torus();
+        if *cached_torus != Some(*torus) {
+            *cached_torus = Some(*torus);
+            coords.clear();
+            coords.extend((0..torus.nodes()).map(|i| torus.coord(i)));
+        }
+        chan_costs.clear();
+        chan_costs.extend(self.channels.iter().map(|c| {
+            let src_node = cfg.layout.node_of_rank[c.src as usize];
+            let dst_node = cfg.layout.node_of_rank[c.dst as usize];
+            let cl = &mc.class_costs[c.class as usize];
+            let (wire, hs) = if src_node == dst_node {
+                // on-node: shared-memory path, no hops
+                (p2p.shm_base() + cl.shm_serial, mc.hs_shm)
+            } else {
+                let hop = p2p.hop_cost(torus.hops(coords[src_node], coords[dst_node]));
+                (hop + cl.serial, hop + mc.hs_off)
+            };
+            ChanCost {
+                wire,
+                rdv_extra: if cl.eager { SimTime::ZERO } else { hs },
+                copy: cl.copy,
+                eager: cl.eager,
+            }
+        }));
+        let coll_dur: Vec<SimTime> = if self.insts.is_empty() {
+            Vec::new()
+        } else {
+            let coll_models: Vec<CollectiveModel> = self
+                .comms
+                .iter()
+                .map(|m| {
+                    CollectiveModel::with_hop_scale(
+                        &cfg.machine,
+                        m.len(),
+                        cfg.layout.tasks_per_node,
+                        cfg.layout.hop_scale,
+                    )
+                })
+                .collect();
+            self.coll_costs
+                .iter()
+                .map(|&(comm, op)| coll_models[comm as usize].time(op))
+                .collect()
+        };
+
+        // Per-point state. The per-rank clocks and marks move into the
+        // returned `SimResult`, so they are fresh allocations; the big
+        // request/message scratch is reused across points WITHOUT a
+        // reset — safe because every slot the pass reads was written
+        // earlier in the same pass (program order puts each request's
+        // send/receive before its wait, and the schedule puts each
+        // message's send before the consuming wait), and stuck ranks
+        // never make it into the stream.
+        let mut clock = vec![SimTime::ZERO; n];
+        let mut busy = vec![SimTime::ZERO; n];
+        let mut marks: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); n];
+        run_start.clear();
+        run_start.resize(n, SimTime::ZERO);
+        let nreq = self.req_base[n] as usize;
+        if req_val.len() < nreq {
+            req_val.resize(nreq, SimTime::MAX);
+            req_msg.resize(nreq, NONE);
+            req_chan.resize(nreq, NONE);
+        }
+        if msg_arrive.len() < self.n_msgs as usize {
+            msg_arrive.resize(self.n_msgs as usize, SimTime::MAX);
+            // (receive's run start, receive's post clock) — the two
+            // replay quantities the unexpected decision needs
+            msg_post.resize(self.n_msgs as usize, (SimTime::MAX, SimTime::MAX));
+        }
+        inst_arrived.clear();
+        inst_arrived.resize(self.insts.len(), 0);
+        inst_latest.clear();
+        inst_latest.resize(self.insts.len(), SimTime::ZERO);
+
+        // The streaming pass. Within a run one rank executes alone, so
+        // its clocks live in locals; they spill only around collective
+        // merges (which touch other ranks' clocks) and at run ends.
+        let mut si = 0usize;
+        for &(rank, len) in &self.runs {
+            let r = rank as usize;
+            let rb = self.req_base[r] as usize;
+            let mut clk = clock[r];
+            let mut rs = run_start[r];
+            let mut bz = busy[r];
+            for node in &self.stream[si..si + len as usize] {
+                match *node {
+                    Node::Compute { cost } => {
+                        let (work, threads) = self.compute_costs[cost as usize];
+                        let t = node_model.time(&work, cfg.mode, threads);
+                        clk += t;
+                        bz += t;
+                    }
+                    Node::Delay { time } => {
+                        clk += time;
+                        bz += time;
+                    }
+                    Node::Send { chan, msg, req } => {
+                        clk += o_send;
+                        let c = &chan_costs[chan as usize];
+                        let inject = clk;
+                        let arrive = inject + c.rdv_extra + c.wire;
+                        req_val[rb + req as usize] = if c.eager { inject } else { arrive };
+                        if msg != NONE {
+                            msg_arrive[msg as usize] = arrive;
+                        }
+                    }
+                    Node::Recv { chan, msg, req } => {
+                        clk += o_recv;
+                        let ri = rb + req as usize;
+                        req_val[ri] = SimTime::MAX;
+                        req_msg[ri] = msg;
+                        req_chan[ri] = chan;
+                        if msg != NONE {
+                            msg_post[msg as usize] = (rs, clk);
+                        }
+                    }
+                    Node::Wait { req } => {
+                        let ri = rb + req as usize;
+                        let val = req_val[ri];
+                        if val != SimTime::MAX {
+                            if val > clk {
+                                clk = val;
+                            }
+                            continue;
+                        }
+                        // the schedule guarantees the paired send
+                        // already ran, so the arrival time is known
+                        let m = req_msg[ri] as usize;
+                        let a = msg_arrive[m];
+                        // Unexpected iff the arrival popped before the
+                        // receive's run began; then completion is the
+                        // post-time copy, else the arrival itself
+                        // (which also starts a new run when it blocked
+                        // us).
+                        let (post_rs, post_clock) = msg_post[m];
+                        let done = if a < post_rs {
+                            post_clock + chan_costs[req_chan[ri] as usize].copy
+                        } else {
+                            if a > rs {
+                                rs = a;
+                            }
+                            a
+                        };
+                        req_val[ri] = done;
+                        req_msg[ri] = NONE;
+                        if done > clk {
+                            clk = done;
+                        }
+                    }
+                    Node::Coll { inst } => {
+                        let i = inst as usize;
+                        inst_arrived[i] += 1;
+                        if clk > inst_latest[i] {
+                            inst_latest[i] = clk;
+                        }
+                        let spec = self.insts[i];
+                        let members = &self.comms[spec.comm as usize];
+                        if (inst_arrived[i] as usize) < members.len() {
+                            continue; // suspend: this ends the run
+                        }
+                        // last member in: complete the super-node and
+                        // release everyone at `latest + duration`
+                        // (their next ops are scheduled after this)
+                        let done = inst_latest[i] + coll_dur[spec.cost as usize];
+                        clock[r] = clk;
+                        for &m in members {
+                            if done > clock[m] {
+                                clock[m] = done;
+                            }
+                            run_start[m] = done;
+                        }
+                        clk = clock[r];
+                        rs = run_start[r];
+                    }
+                    Node::Mark { id } => {
+                        marks[r].push((id, clk));
+                    }
+                }
+            }
+            si += len as usize;
+            clock[r] = clk;
+            run_start[r] = rs;
+            busy[r] = bz;
+        }
+
+        SimResult {
+            finish: clock,
+            busy,
+            bytes_sent: self.total_bytes,
+            messages: self.total_msgs,
+            marks,
+        }
+    }
+
+    /// The lane-batched streaming pass: evaluate `L` points sharing one
+    /// machine (differing only in rank layout) in ONE walk of the
+    /// schedule. The schedule fixes all control flow, so everything
+    /// structural — request→message pairing, resolved-vs-pending wait
+    /// state, collective membership counts — is identical across lanes
+    /// and stays in scalar arrays; only timing state (clocks, route
+    /// costs, arrival times) widens to `L` interleaved lanes, so one
+    /// request's lanes share a cache line and the node decode + dispatch
+    /// cost is paid once for all `L` points.
+    fn evaluate_lanes<const L: usize>(
+        &self,
+        cfgs: &[SimConfig],
+        ctx: &mut EvalCtx,
+        out: &mut Vec<SimResult>,
+    ) {
+        debug_assert_eq!(cfgs.len(), L);
+        let n = self.ranks;
+        for cfg in cfgs {
+            assert_eq!(cfg.ranks(), n, "layout must place exactly the compiled ranks");
+        }
+        if let Some((count, rank, op)) = self.deadlock {
+            panic!("deadlock: {count} ranks did not finish, e.g. rank {rank} at op {op}");
+        }
+        let cfg0 = &cfgs[0];
+        let o_send = cfg0.machine.nic.o_send;
+        let o_recv = cfg0.machine.nic.o_recv;
+
+        let EvalCtx {
+            mach,
+            torus: cached_torus,
+            coords,
+            req_msg,
+            req_chan,
+            inst_arrived,
+            lane_chan,
+            chan_copy,
+            chan_eager,
+            lane_req_val,
+            lane_msg_arrive,
+            lane_msg_post,
+            lane_run_start,
+            lane_inst_latest,
+            ..
+        } = ctx;
+
+        // Machine-level tables are shared across lanes (the batch
+        // dispatcher guarantees one machine); routes are priced per
+        // lane into the interleaved channel table. The copy cost and
+        // eager flag depend only on the payload class, so they stay
+        // per-channel scalars.
+        let p2p =
+            P2pModel::new(&cfg0.machine, cfg0.layout.torus).with_ambient(cfg0.layout.ambient_flows);
+        let mc = self.mach_costs(cfg0, &p2p, mach);
+        let torus = p2p.torus();
+        if *cached_torus != Some(*torus) {
+            *cached_torus = Some(*torus);
+            coords.clear();
+            coords.extend((0..torus.nodes()).map(|i| torus.coord(i)));
+        }
+        chan_copy.clear();
+        chan_eager.clear();
+        for c in &self.channels {
+            let cl = &mc.class_costs[c.class as usize];
+            chan_copy.push(cl.copy);
+            chan_eager.push(cl.eager);
+        }
+        lane_chan.clear();
+        lane_chan.resize(self.channels.len() * L, (SimTime::ZERO, SimTime::ZERO));
+        // Channel-outer, lane-inner: one contiguous 16·L-byte write per
+        // channel, and the hop geometry — which depends only on the
+        // (src, dst) rank pair, not the payload class — is computed
+        // once per pair (compile emits a pair's classes consecutively).
+        let mut prev_pair = (u32::MAX, u32::MAX);
+        let mut hop = [SimTime::ZERO; L];
+        let mut on_node = [false; L];
+        for (ci, c) in self.channels.iter().enumerate() {
+            if (c.src, c.dst) != prev_pair {
+                prev_pair = (c.src, c.dst);
+                for (l, cfg) in cfgs.iter().enumerate() {
+                    let src_node = cfg.layout.node_of_rank[c.src as usize];
+                    let dst_node = cfg.layout.node_of_rank[c.dst as usize];
+                    on_node[l] = src_node == dst_node;
+                    if !on_node[l] {
+                        hop[l] = p2p.hop_cost(torus.hops(coords[src_node], coords[dst_node]));
+                    }
+                }
+            }
+            let cl = &mc.class_costs[c.class as usize];
+            for l in 0..L {
+                let (wire, hs) = if on_node[l] {
+                    // on-node: shared-memory path, no hops
+                    (p2p.shm_base() + cl.shm_serial, mc.hs_shm)
+                } else {
+                    (hop[l] + cl.serial, hop[l] + mc.hs_off)
+                };
+                lane_chan[ci * L + l] = (wire, if cl.eager { SimTime::ZERO } else { hs });
+            }
+        }
+        let lane_coll_dur: Vec<SimTime> = if self.insts.is_empty() {
+            Vec::new()
+        } else {
+            let mut v = vec![SimTime::ZERO; self.coll_costs.len() * L];
+            for (l, cfg) in cfgs.iter().enumerate() {
+                let models: Vec<CollectiveModel> = self
+                    .comms
+                    .iter()
+                    .map(|m| {
+                        CollectiveModel::with_hop_scale(
+                            &cfg.machine,
+                            m.len(),
+                            cfg.layout.tasks_per_node,
+                            cfg.layout.hop_scale,
+                        )
+                    })
+                    .collect();
+                for (k, &(comm, op)) in self.coll_costs.iter().enumerate() {
+                    v[k * L + l] = models[comm as usize].time(op);
+                }
+            }
+            v
+        };
+
+        // Per-batch state; same no-reset invariant as the scalar pass
+        // for the request/message scratch (every slot read was written
+        // earlier in the same pass).
+        let mut clock = vec![SimTime::ZERO; n * L];
+        let mut busy = vec![SimTime::ZERO; n * L];
+        let mut marks: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); n * L];
+        lane_run_start.clear();
+        lane_run_start.resize(n * L, SimTime::ZERO);
+        let nreq = self.req_base[n] as usize;
+        if lane_req_val.len() < nreq * L {
+            lane_req_val.resize(nreq * L, SimTime::MAX);
+        }
+        if req_msg.len() < nreq {
+            req_msg.resize(nreq, NONE);
+            req_chan.resize(nreq, NONE);
+        }
+        let nm = self.n_msgs as usize;
+        if lane_msg_arrive.len() < nm * L {
+            lane_msg_arrive.resize(nm * L, SimTime::MAX);
+            lane_msg_post.resize(nm * L, (SimTime::MAX, SimTime::MAX));
+        }
+        inst_arrived.clear();
+        inst_arrived.resize(self.insts.len(), 0);
+        lane_inst_latest.clear();
+        lane_inst_latest.resize(self.insts.len() * L, SimTime::ZERO);
+
+        let mut si = 0usize;
+        for &(rank, len) in &self.runs {
+            let r = rank as usize;
+            let rb = self.req_base[r] as usize;
+            let mut clk = [SimTime::ZERO; L];
+            let mut rs = [SimTime::ZERO; L];
+            let mut bz = [SimTime::ZERO; L];
+            clk.copy_from_slice(&clock[r * L..r * L + L]);
+            rs.copy_from_slice(&lane_run_start[r * L..r * L + L]);
+            bz.copy_from_slice(&busy[r * L..r * L + L]);
+            for node in &self.stream[si..si + len as usize] {
+                match *node {
+                    Node::Compute { cost } => {
+                        let (work, threads) = self.compute_costs[cost as usize];
+                        let t = mc.node_model.time(&work, cfg0.mode, threads);
+                        for l in 0..L {
+                            clk[l] += t;
+                            bz[l] += t;
+                        }
+                    }
+                    Node::Delay { time } => {
+                        for l in 0..L {
+                            clk[l] += time;
+                            bz[l] += time;
+                        }
+                    }
+                    Node::Send { chan, msg, req } => {
+                        let cb = chan as usize * L;
+                        let eager = chan_eager[chan as usize];
+                        let ri = (rb + req as usize) * L;
+                        for l in 0..L {
+                            clk[l] += o_send;
+                            let (wire, rdv) = lane_chan[cb + l];
+                            let arrive = clk[l] + rdv + wire;
+                            lane_req_val[ri + l] = if eager { clk[l] } else { arrive };
+                            if msg != NONE {
+                                lane_msg_arrive[msg as usize * L + l] = arrive;
+                            }
+                        }
+                    }
+                    Node::Recv { chan, msg, req } => {
+                        let ri0 = rb + req as usize;
+                        req_msg[ri0] = msg;
+                        req_chan[ri0] = chan;
+                        let ri = ri0 * L;
+                        for l in 0..L {
+                            clk[l] += o_recv;
+                            lane_req_val[ri + l] = SimTime::MAX;
+                            if msg != NONE {
+                                lane_msg_post[msg as usize * L + l] = (rs[l], clk[l]);
+                            }
+                        }
+                    }
+                    Node::Wait { req } => {
+                        let ri0 = rb + req as usize;
+                        let ri = ri0 * L;
+                        // resolved-vs-pending is structural (a send
+                        // request, or a receive already waited), so
+                        // lane 0 decides for the batch
+                        if lane_req_val[ri] != SimTime::MAX {
+                            for l in 0..L {
+                                let val = lane_req_val[ri + l];
+                                if val > clk[l] {
+                                    clk[l] = val;
+                                }
+                            }
+                            continue;
+                        }
+                        let m = req_msg[ri0] as usize * L;
+                        let copy = chan_copy[req_chan[ri0] as usize];
+                        for l in 0..L {
+                            let a = lane_msg_arrive[m + l];
+                            let (post_rs, post_clock) = lane_msg_post[m + l];
+                            // unexpected iff the arrival popped before
+                            // the receive's run began (per lane)
+                            let done = if a < post_rs {
+                                post_clock + copy
+                            } else {
+                                if a > rs[l] {
+                                    rs[l] = a;
+                                }
+                                a
+                            };
+                            lane_req_val[ri + l] = done;
+                            if done > clk[l] {
+                                clk[l] = done;
+                            }
+                        }
+                        req_msg[ri0] = NONE;
+                    }
+                    Node::Coll { inst } => {
+                        let i = inst as usize;
+                        inst_arrived[i] += 1;
+                        let il = i * L;
+                        for l in 0..L {
+                            if clk[l] > lane_inst_latest[il + l] {
+                                lane_inst_latest[il + l] = clk[l];
+                            }
+                        }
+                        let spec = self.insts[i];
+                        let members = &self.comms[spec.comm as usize];
+                        if (inst_arrived[i] as usize) < members.len() {
+                            continue; // suspend: this ends the run
+                        }
+                        let cb = spec.cost as usize * L;
+                        clock[r * L..r * L + L].copy_from_slice(&clk);
+                        for &mr in members {
+                            for l in 0..L {
+                                let done = lane_inst_latest[il + l] + lane_coll_dur[cb + l];
+                                if done > clock[mr * L + l] {
+                                    clock[mr * L + l] = done;
+                                }
+                                lane_run_start[mr * L + l] = done;
+                            }
+                        }
+                        clk.copy_from_slice(&clock[r * L..r * L + L]);
+                        rs.copy_from_slice(&lane_run_start[r * L..r * L + L]);
+                    }
+                    Node::Mark { id } => {
+                        for l in 0..L {
+                            marks[r * L + l].push((id, clk[l]));
+                        }
+                    }
+                }
+            }
+            si += len as usize;
+            clock[r * L..r * L + L].copy_from_slice(&clk);
+            lane_run_start[r * L..r * L + L].copy_from_slice(&rs);
+            busy[r * L..r * L + L].copy_from_slice(&bz);
+        }
+
+        // de-interleave one SimResult per lane
+        for l in 0..L {
+            out.push(SimResult {
+                finish: (0..n).map(|r| clock[r * L + l]).collect(),
+                busy: (0..n).map(|r| busy[r * L + l]).collect(),
+                bytes_sent: self.total_bytes,
+                messages: self.total_msgs,
+                marks: (0..n).map(|r| std::mem::take(&mut marks[r * L + l])).collect(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FnProgram, Mpi, Program};
+    use crate::sim::TraceSim;
+    use hpcsim_engine::SimTime;
+    use hpcsim_machine::registry::{bluegene_p, xt4_qc};
+    use hpcsim_machine::ExecMode;
+    use hpcsim_net::DType;
+    use hpcsim_topo::Mapping;
+
+    /// Replay and DAG-evaluate the same traces on a contention-flat
+    /// machine; every observable must agree exactly.
+    fn check<P: Program>(prog: &P, machine: MachineSpec, ranks: usize, mode: ExecMode) {
+        let cfg = SimConfig::new(machine.with_flat_contention(), ranks, mode);
+        let traces = TraceSim::trace_program(prog, ranks, cfg.threads);
+        let replay = TraceSim::new(cfg.clone()).replay_traces(&traces);
+        let dag = TraceDag::compile_world(&traces).evaluate(&cfg);
+        assert_eq!(replay.finish, dag.finish);
+        assert_eq!(replay.busy, dag.busy);
+        assert_eq!(replay.bytes_sent, dag.bytes_sent);
+        assert_eq!(replay.messages, dag.messages);
+        assert_eq!(replay.marks, dag.marks);
+    }
+
+    #[test]
+    fn ping_pong_matches_replay() {
+        let prog = FnProgram(|mpi: &mut Mpi| match mpi.rank() {
+            0 => {
+                mpi.send(1, 0, 8);
+                mpi.recv(1, 1, 8);
+            }
+            _ => {
+                mpi.recv(0, 0, 8);
+                mpi.send(0, 1, 8);
+            }
+        });
+        check(&prog, bluegene_p(), 2, ExecMode::Smp);
+        check(&prog, xt4_qc(), 2, ExecMode::Smp);
+    }
+
+    #[test]
+    fn same_tag_fifo_matches_replay() {
+        check(
+            &FnProgram(|mpi: &mut Mpi| {
+                if mpi.rank() == 0 {
+                    mpi.send(1, 9, 64);
+                    mpi.send(1, 9, 64);
+                } else {
+                    mpi.recv(0, 9, 64);
+                    mpi.recv(0, 9, 64);
+                }
+            }),
+            bluegene_p(),
+            2,
+            ExecMode::Smp,
+        );
+    }
+
+    #[test]
+    fn unexpected_message_copy_matches_replay() {
+        for delay_us in [0u64, 1, 100, 10_000] {
+            check(
+                &FnProgram(move |mpi: &mut Mpi| {
+                    if mpi.rank() == 0 {
+                        mpi.send(1, 0, 1024);
+                    } else {
+                        mpi.delay(SimTime::from_us(delay_us));
+                        mpi.recv(0, 0, 1024);
+                    }
+                }),
+                bluegene_p(),
+                2,
+                ExecMode::Smp,
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_matches_replay() {
+        let big = bluegene_p().nic.eager_threshold * 100;
+        check(
+            &FnProgram(move |mpi: &mut Mpi| {
+                if mpi.rank() == 0 {
+                    mpi.send(1, 0, big);
+                } else {
+                    mpi.recv(0, 0, big);
+                }
+            }),
+            bluegene_p(),
+            2,
+            ExecMode::Smp,
+        );
+    }
+
+    #[test]
+    fn ring_exchange_matches_replay_across_mappings() {
+        let prog = FnProgram(|mpi: &mut Mpi| {
+            let next = (mpi.rank() + 1) % mpi.size();
+            let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+            mpi.sendrecv(next, 0, 65_536, prev, 0, 65_536);
+            mpi.allreduce(crate::ops::CommId::WORLD, 8, DType::F64);
+        });
+        let machine = bluegene_p().with_flat_contention();
+        let traces = TraceSim::trace_program(&prog, 64, 1);
+        let dag = TraceDag::compile_world(&traces);
+        for (_, mapping) in Mapping::fig2_set() {
+            let layout = crate::layout::RankLayout::bluegene(&machine, 64, ExecMode::Vn, mapping);
+            let cfg =
+                SimConfig { machine: machine.clone(), mode: ExecMode::Vn, threads: 1, layout };
+            let replay = TraceSim::new(cfg.clone()).replay_traces(&traces);
+            let fast = dag.evaluate(&cfg);
+            assert_eq!(replay.finish, fast.finish, "mapping {mapping:?}");
+            assert_eq!(replay.busy, fast.busy);
+        }
+    }
+
+    #[test]
+    fn collective_straggler_matches_replay() {
+        check(
+            &FnProgram(|mpi: &mut Mpi| {
+                if mpi.rank() == 3 {
+                    mpi.delay(SimTime::from_us(500));
+                }
+                mpi.barrier(crate::ops::CommId::WORLD);
+                mpi.mark(7);
+                mpi.allreduce(crate::ops::CommId::WORLD, 32 * 1024, DType::F32);
+            }),
+            bluegene_p(),
+            8,
+            ExecMode::Vn,
+        );
+    }
+
+    #[test]
+    fn subcommunicator_matches_replay() {
+        let machine = bluegene_p().with_flat_contention();
+        let cfg = SimConfig::new(machine, 8, ExecMode::Vn);
+        let mut sim = TraceSim::new(cfg.clone());
+        let evens = sim.register_comm((0..8).step_by(2).collect());
+        let prog = FnProgram(move |mpi: &mut Mpi| {
+            if mpi.rank().is_multiple_of(2) {
+                mpi.allreduce(evens, 1024, DType::F64);
+            }
+        });
+        let traces = TraceSim::trace_program(&prog, 8, 1);
+        let replay = sim.replay_traces(&traces);
+        let world: Vec<usize> = (0..8).collect();
+        let members: Vec<usize> = (0..8).step_by(2).collect();
+        let dag = TraceDag::compile(&traces, &[world, members]).evaluate(&cfg);
+        assert_eq!(replay.finish, dag.finish);
+        assert_eq!(replay.busy, dag.busy);
+    }
+
+    #[test]
+    fn unmatched_send_and_unwaited_recv_match_replay() {
+        // rank 0 sends a message nobody receives; rank 1 posts a receive
+        // it never waits on — both finish in either engine
+        check(
+            &FnProgram(|mpi: &mut Mpi| {
+                if mpi.rank() == 0 {
+                    let s = mpi.isend(1, 5, 256);
+                    mpi.wait(s);
+                } else {
+                    let _never = mpi.irecv(0, 6, 256);
+                    mpi.delay(SimTime::from_us(3));
+                }
+            }),
+            bluegene_p(),
+            2,
+            ExecMode::Smp,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let prog = FnProgram(|mpi: &mut Mpi| {
+            let peer = 1 - mpi.rank();
+            mpi.recv(peer, 0, 8);
+        });
+        let cfg = SimConfig::new(bluegene_p().with_flat_contention(), 2, ExecMode::Smp);
+        let traces = TraceSim::trace_program(&prog, 2, 1);
+        let _ = TraceDag::compile_world(&traces).evaluate(&cfg);
+    }
+
+    #[test]
+    fn stats_count_structure() {
+        let prog = FnProgram(|mpi: &mut Mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 0, 64);
+            } else {
+                mpi.recv(0, 0, 64);
+            }
+            mpi.barrier(crate::ops::CommId::WORLD);
+        });
+        let traces = TraceSim::trace_program(&prog, 2, 1);
+        let s = TraceDag::compile_world(&traces).stats();
+        // rank 0: isend+wait+coll, rank 1: irecv+wait+coll
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.channels, 1);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.edges, 4 + 1 + 4); // program order + message + coll in/out
+    }
+
+    #[test]
+    fn engine_selector_round_trips() {
+        assert_eq!(SweepEngine::parse("replay"), Some(SweepEngine::Replay));
+        assert_eq!(SweepEngine::parse("dag"), Some(SweepEngine::Dag));
+        assert_eq!(SweepEngine::parse("fast"), None);
+        assert_eq!(SweepEngine::Dag.label(), "dag");
+        let before = sweep_engine();
+        set_sweep_engine(SweepEngine::Dag);
+        assert_eq!(sweep_engine(), SweepEngine::Dag);
+        set_sweep_engine(before);
+    }
+}

@@ -25,13 +25,21 @@
 //!   POP barrier experiment shows it;
 //! * **execution modes** — VN/DUAL/SMP placement of ranks onto nodes and
 //!   the corresponding resource sharing, via [`layout::RankLayout`].
+//!
+//! For parameter sweeps that replay one trace under many (machine,
+//! mapping, mode) points, [`dag::TraceDag`] compiles the trace once into
+//! a task DAG and evaluates each point in a single pass — exact against
+//! replay on contention-flat machines, with automatic fallback elsewhere
+//! (see the [`dag`] module docs).
 
+pub mod dag;
 pub mod layout;
 pub mod ops;
 pub mod program;
 pub mod result;
 pub mod sim;
 
+pub use dag::{set_sweep_engine, sweep_engine, DagStats, SweepEngine, TraceDag};
 pub use layout::RankLayout;
 pub use ops::{CommId, Op, Req};
 pub use program::{FnProgram, Mpi, Program};

@@ -536,14 +536,58 @@ impl P2pModel {
         &self.torus
     }
 
+    /// True when contention cannot change any wire time: with infinite
+    /// route diversity the share divisor is load-independent, so
+    /// [`P2pModel::wire_time_contended`] returns exactly
+    /// [`P2pModel::wire_time`] at any load (ambient traffic taxes both
+    /// identically). This is the condition under which the DAG sweep
+    /// engine is exact against replay.
+    pub fn is_contention_flat(&self) -> bool {
+        self.diversity.is_infinite()
+    }
+
     /// Contention-free wire time from `src_node` to `dst_node`.
     pub fn wire_time(&self, src_node: usize, dst_node: usize, bytes: u64) -> SimTime {
         if src_node == dst_node {
-            return self.shm_latency + SimTime::from_secs(bytes as f64 / self.shm_bw);
+            return self.shm_base() + self.shm_serial_cost(bytes);
         }
         let hops = self.torus.hops(self.torus.coord(src_node), self.torus.coord(dst_node));
+        self.wire_time_for_hops(hops, bytes)
+    }
+
+    /// Contention-free wire time for a pre-computed *off-node* hop
+    /// count: exactly [`P2pModel::wire_time`] with the coordinate
+    /// lookups hoisted out. Sweep evaluators price thousands of
+    /// channels per point and batch the route geometry themselves; the
+    /// formula lives here so the two paths cannot drift apart.
+    pub fn wire_time_for_hops(&self, hops: usize, bytes: u64) -> SimTime {
+        self.hop_cost(hops) + self.serial_cost(bytes)
+    }
+
+    /// Routing component of the contention-free off-node wire time.
+    /// `SimTime` is integer nanoseconds, so
+    /// `hop_cost(h) + serial_cost(b) == wire_time_for_hops(h, b)`
+    /// bit-for-bit — sweep evaluators exploit that to price a payload
+    /// class once and reuse it across every route carrying it.
+    pub fn hop_cost(&self, hops: usize) -> SimTime {
+        self.per_hop * hops as u64
+    }
+
+    /// Serialization component of the contention-free off-node wire
+    /// time (the other half of the [`P2pModel::hop_cost`] split).
+    pub fn serial_cost(&self, bytes: u64) -> SimTime {
         let bw = self.wire_bw / self.share_divisor(1);
-        self.per_hop * hops as u64 + SimTime::from_secs(bytes as f64 / bw)
+        SimTime::from_secs(bytes as f64 / bw)
+    }
+
+    /// Latency component of the same-node shared-memory path.
+    pub fn shm_base(&self) -> SimTime {
+        self.shm_latency
+    }
+
+    /// Serialization component of the same-node shared-memory path.
+    pub fn shm_serial_cost(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(bytes as f64 / self.shm_bw)
     }
 
     /// Wire time under current contention; registers the flow in
@@ -718,6 +762,28 @@ mod tests {
         assert!(bratio > 1.05 && bratio < ratio, "BG/P adaptive ratio {bratio:.2}");
         tr2.release(g1.unwrap());
         tr2.release(g2.unwrap());
+    }
+
+    #[test]
+    fn flat_contention_makes_contended_time_exact() {
+        // With infinite route diversity the contended path must return
+        // bit-for-bit the contention-free wire time at any load — the
+        // exactness condition the DAG sweep engine relies on.
+        let m = P2pModel::new(&bluegene_p().with_flat_contention(), Torus3D::new([8, 8, 8]));
+        assert!(m.is_contention_flat());
+        assert!(!bgp_model().is_contention_flat());
+        let mut tracker = FlowTracker::new(m.torus());
+        let bytes = 1 << 22;
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (t, h) = m.wire_time_contended(&mut tracker, 0, 1, bytes);
+            assert_eq!(t, m.wire_time(0, 1, bytes));
+            handles.push(h.unwrap());
+        }
+        for h in handles {
+            tracker.release(h);
+        }
+        assert!(tracker.is_quiescent());
     }
 
     #[test]
