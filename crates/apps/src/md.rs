@@ -33,7 +33,7 @@ pub enum MdCode {
 }
 
 /// MD proxy configuration (defaults: the paper's RuBisCO system).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct MdConfig {
     /// Which code.
     pub code: MdCode,
@@ -114,26 +114,50 @@ pub fn md_run(machine: &MachineSpec, ranks: usize, cfg: &MdConfig) -> MdResult {
 /// Table 1 systems) fall back to event-queue replay, so results are
 /// identical under either engine selection.
 pub fn md_run_machines(machines: &[MachineSpec], ranks: usize, cfg: &MdConfig) -> Vec<MdResult> {
-    let traces = md_traces(ranks, cfg);
+    md_run_machines_traces(machines, ranks, cfg, &md_traces(ranks, cfg))
+}
+
+/// [`md_run_machines`] over traces the caller already holds (they must
+/// be `md_traces(ranks, cfg)`) — the scenario cache's tier-2 path: the
+/// Fig 8 battery fetches the shared trace from the store and every
+/// machine of the scan replays it without re-recording.
+pub fn md_run_machines_traces(
+    machines: &[MachineSpec],
+    ranks: usize,
+    cfg: &MdConfig,
+    traces: &[Vec<hpcsim_mpi::Op>],
+) -> Vec<MdResult> {
     let engine = hpcsim_mpi::sweep_engine();
     let dag = if engine == SweepEngine::Dag && machines.iter().any(TraceDag::exact_for) {
-        Some(TraceDag::compile_world(&traces))
+        Some(TraceDag::compile_world(traces))
     } else {
         None
     };
     machines
         .iter()
-        .map(|machine| {
-            let sim_cfg = SimConfig::new(machine.clone(), ranks, ExecMode::Vn);
-            let res = match &dag {
-                Some(dag) if TraceDag::exact_for(machine) => dag.evaluate(&sim_cfg),
-                _ => TraceSim::new(sim_cfg).replay_traces(&traces),
-            };
-            let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
-            // 1 fs per step -> ns/day = 86400 / (s/step) * 1e-6
-            MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }
-        })
+        .map(|machine| md_eval_traces(machine, ranks, cfg, traces, dag.as_ref()))
         .collect()
+}
+
+/// Evaluate a single machine point from already-recorded traces,
+/// optionally through a pre-compiled DAG (used only where provably
+/// exact, [`TraceDag::exact_for`]). Bit-identical to [`md_run`] on the
+/// same point.
+pub fn md_eval_traces(
+    machine: &MachineSpec,
+    ranks: usize,
+    cfg: &MdConfig,
+    traces: &[Vec<hpcsim_mpi::Op>],
+    dag: Option<&TraceDag>,
+) -> MdResult {
+    let sim_cfg = SimConfig::new(machine.clone(), ranks, ExecMode::Vn);
+    let res = match dag {
+        Some(dag) if TraceDag::exact_for(machine) => dag.evaluate(&sim_cfg),
+        _ => TraceSim::new(sim_cfg).replay_traces(traces),
+    };
+    let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
+    // 1 fs per step -> ns/day = 86400 / (s/step) * 1e-6
+    MdResult { seconds_per_step, ns_per_day: 86_400.0 / seconds_per_step * 1e-6 }
 }
 
 /// [`md_run`] with an observability sink; also returns the raw replay

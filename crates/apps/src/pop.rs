@@ -26,7 +26,7 @@ const MARK_BARRIER_END: u32 = 12;
 const MARK_BAROTROPIC_END: u32 = 13;
 
 /// POP benchmark configuration (defaults: the 0.1° tenth-degree problem).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PopConfig {
     /// Horizontal grid.
     pub nx: u64,

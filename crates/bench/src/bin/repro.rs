@@ -15,6 +15,9 @@
 //! repro fig2 --faults 42 --fault-profile link
 //! repro fig2 --sweep-engine dag  # DAG sweep engine (same output, less
 //!                           # time on mapping/machine scans)
+//! repro fig2 --cache-dir .cache  # disk-backed scenario cache: a second
+//!                           # run starts warm (same output, less time)
+//! repro fig2 --no-cache     # disable scenario memoization entirely
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -23,7 +26,7 @@
 //! available core); results are assembled in a fixed order, so the
 //! artifacts are byte-identical regardless of the worker count.
 
-use hpcsim_bench::{bench_json_report, PhaseTiming, RunFlags, SweepReport};
+use hpcsim_bench::{bench_json_report, CacheReport, PhaseTiming, RunFlags, SweepReport};
 use hpcsim_core::{run_experiment, set_jobs, set_sweep_engine, ExperimentId, Scale, SweepEngine};
 use hpcsim_faults::{FaultPlan, FaultProfile};
 use std::time::Instant;
@@ -31,7 +34,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] [--bench-timestamp TS] \
-         [--sweep-engine replay|dag] \
+         [--sweep-engine replay|dag] [--cache-dir DIR | --no-cache] \
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
          [--faults SEED] [--fault-profile link|noise|loss|mixed] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
@@ -52,6 +55,22 @@ fn ensure_writable(path: &std::path::Path) {
     };
     if let Err(e) = attempt() {
         eprintln!("repro: {}: not writable: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
+/// Fail early (exit 2) when the scenario-cache directory can't take
+/// writes — same convention as the trace/metrics paths: discover the
+/// problem before the simulation, not after it.
+fn ensure_cache_dir(dir: &std::path::Path) {
+    let attempt = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let probe = dir.join(".write-probe");
+        std::fs::write(&probe, b"")?;
+        std::fs::remove_file(&probe)
+    };
+    if let Err(e) = attempt() {
+        eprintln!("repro: {}: not writable: {e}", dir.display());
         std::process::exit(2);
     }
 }
@@ -81,6 +100,15 @@ fn main() {
         ensure_writable(&flags.trace_path());
         ensure_writable(&flags.metrics_path());
     }
+    let mut cache_cfg = hpcsim_cache::CacheConfig::default();
+    if flags.no_cache {
+        cache_cfg.enabled = false;
+    }
+    if let Some(dir) = &flags.cache_dir {
+        ensure_cache_dir(dir);
+        cache_cfg.dir = Some(dir.clone());
+    }
+    hpcsim_cache::configure(cache_cfg);
 
     let want_ablations = flags.positional.iter().any(|p| p == "ablations" || p == "all");
     let ids: Vec<ExperimentId> = if flags.positional.iter().any(|p| p == "all") {
@@ -155,6 +183,25 @@ fn main() {
         timings.len(),
         hpcsim_core::jobs()
     );
+    // One greppable line per run so the CI smoke can assert the warm
+    // run actually hit (`# `-prefixed: stripped output stays identical
+    // cold, warm, or with the cache off).
+    if flags.no_cache {
+        println!("# scenario cache: disabled (--no-cache)");
+    } else {
+        let s = hpcsim_cache::global().stats();
+        println!(
+            "# scenario cache: {} result hits ({} disk), {} misses, {} coalesced; \
+             traces: {} hits ({} disk), {} misses",
+            s.result_hits,
+            s.disk_result_hits,
+            s.result_misses,
+            s.coalesced,
+            s.trace_hits,
+            s.disk_trace_hits,
+            s.trace_misses
+        );
+    }
     if let Some(path) = &flags.bench_json {
         let scale_name = if flags.paper { "paper" } else { "quick" };
         // Race both sweep engines over the Fig 2(c,d) mapping scan on a
@@ -177,6 +224,30 @@ fn main() {
             sweep.speedup(),
             sweep.engines_agree
         );
+        // Run the repeated query mix cold then warm against a fresh
+        // cache so the memoization speedup (and bit-identity) is
+        // tracked with every recorded report.
+        let c = hpcsim_core::scenario_cache_battery(scale);
+        let cache = CacheReport {
+            points: c.points,
+            queries: c.queries,
+            cold_seconds: c.cold_seconds,
+            warm_seconds: c.warm_seconds,
+            result_hits: c.result_hits,
+            result_misses: c.result_misses,
+            coalesced: c.coalesced,
+            trace_hits: c.trace_hits,
+            bitwise_identical: c.bitwise_identical,
+        };
+        println!(
+            "# scenario cache battery: {} points x2; cold {:.3}s, warm {:.3}s ({:.0}x); \
+             bit-identical: {}",
+            cache.points,
+            cache.cold_seconds,
+            cache.warm_seconds,
+            cache.speedup(),
+            cache.bitwise_identical
+        );
         let report = bench_json_report(
             scale_name,
             hpcsim_core::jobs(),
@@ -184,6 +255,7 @@ fn main() {
             total,
             flags.bench_timestamp.as_deref(),
             Some(&sweep),
+            Some(&cache),
         );
         match std::fs::write(path, report) {
             Ok(()) => println!("# wall-clock report: {}", path.display()),

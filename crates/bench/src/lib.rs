@@ -58,6 +58,13 @@ pub struct RunFlags {
     /// evaluates wherever that is provably exact, falling back to
     /// replay elsewhere — output is byte-identical either way.
     pub sweep_engine: Option<String>,
+    /// `--cache-dir DIR`: back the scenario cache with an on-disk
+    /// store, so a second run starts warm. Output is byte-identical
+    /// cold or warm. Conflicts with `--no-cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`: disable scenario memoization entirely (every
+    /// query computes directly). Output is byte-identical either way.
+    pub no_cache: bool,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
@@ -93,6 +100,8 @@ impl RunFlags {
             fault_seed: None,
             fault_profile: None,
             sweep_engine: None,
+            cache_dir: None,
+            no_cache: false,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -147,6 +156,10 @@ impl RunFlags {
                     }
                     flags.sweep_engine = Some(v);
                 }
+                "--cache-dir" => {
+                    flags.cache_dir = Some(PathBuf::from(take_value(args, &mut i, "--cache-dir")?));
+                }
+                "--no-cache" => flags.no_cache = true,
                 other if other.starts_with('-') => {
                     return Err(format!("unknown flag {other:?}"));
                 }
@@ -156,6 +169,9 @@ impl RunFlags {
         }
         if flags.fault_profile.is_some() && flags.fault_seed.is_none() {
             return Err("--fault-profile requires --faults SEED".to_string());
+        }
+        if flags.cache_dir.is_some() && flags.no_cache {
+            return Err("--cache-dir conflicts with --no-cache".to_string());
         }
         Ok(flags)
     }
@@ -218,6 +234,38 @@ impl SweepReport {
     }
 }
 
+/// The `scenario_cache` entry of the schema-v4 report: the repeated
+/// Fig 2(c,d)-style query mix run cold then warm against a fresh
+/// scenario cache, with bit-identity checked on every warm lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheReport {
+    /// Distinct scenario specs in the mix.
+    pub points: u64,
+    /// Queries issued per pass (every spec twice).
+    pub queries: u64,
+    /// Cold-pass wall seconds (cache empty).
+    pub cold_seconds: f64,
+    /// Warm-pass wall seconds (same queries again).
+    pub warm_seconds: f64,
+    /// Tier-1 result hits across both passes.
+    pub result_hits: u64,
+    /// Tier-1 result misses (= evaluations actually run).
+    pub result_misses: u64,
+    /// Queries coalesced onto an identical in-flight evaluation.
+    pub coalesced: u64,
+    /// Tier-2 trace-store hits (mappings sharing a recording).
+    pub trace_hits: u64,
+    /// Whether every warm lookup returned the cold pass's exact bits.
+    pub bitwise_identical: bool,
+}
+
+impl CacheReport {
+    /// Cold-over-warm wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.cold_seconds / self.warm_seconds.max(1e-12)
+    }
+}
+
 /// Render the `--bench-json` report. Hand-rolled so the harness stays
 /// dependency-free; the schema is flat enough that escaping never
 /// matters (names are slugs, numbers are finite).
@@ -228,11 +276,12 @@ pub fn bench_json_report(
     total_seconds: f64,
     generated_at: Option<&str>,
     sweep: Option<&SweepReport>,
+    cache: Option<&CacheReport>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpcsim-bench-repro/3\",\n");
-    s.push_str("  \"schema_version\": 3,\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/4\",\n");
+    s.push_str("  \"schema_version\": 4,\n");
     match generated_at {
         // the stamp is injected by the harness (`--bench-timestamp`);
         // without one the report stays byte-reproducible
@@ -263,6 +312,23 @@ pub fn bench_json_report(
             s.push_str("  },\n");
         }
         None => s.push_str("  \"fig2_mapping_sweep\": null,\n"),
+    }
+    match cache {
+        Some(c) => {
+            s.push_str("  \"scenario_cache\": {\n");
+            s.push_str(&format!("    \"points\": {},\n", c.points));
+            s.push_str(&format!("    \"queries\": {},\n", c.queries));
+            s.push_str(&format!("    \"cold_seconds\": {:.4},\n", c.cold_seconds));
+            s.push_str(&format!("    \"warm_seconds\": {:.4},\n", c.warm_seconds));
+            s.push_str(&format!("    \"speedup\": {:.2},\n", c.speedup()));
+            s.push_str(&format!("    \"result_hits\": {},\n", c.result_hits));
+            s.push_str(&format!("    \"result_misses\": {},\n", c.result_misses));
+            s.push_str(&format!("    \"coalesced\": {},\n", c.coalesced));
+            s.push_str(&format!("    \"trace_hits\": {},\n", c.trace_hits));
+            s.push_str(&format!("    \"bitwise_identical\": {}\n", c.bitwise_identical));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"scenario_cache\": null,\n"),
     }
     s.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
     s.push_str("}\n");
@@ -365,13 +431,14 @@ mod tests {
             PhaseTiming { name: "table2".into(), seconds: 0.51 },
             PhaseTiming { name: "fig3".into(), seconds: 1.25 },
         ];
-        let s = bench_json_report("quick", 8, &phases, 1.76, None, None);
+        let s = bench_json_report("quick", 8, &phases, 1.76, None, None, None);
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
-        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/3\""));
-        assert!(s.contains("\"schema_version\": 3"));
+        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/4\""));
+        assert!(s.contains("\"schema_version\": 4"));
         assert!(s.contains("\"generated_at\": null"));
         assert!(s.contains("\"fig2_mapping_sweep\": null"));
+        assert!(s.contains("\"scenario_cache\": null"));
         assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
         assert!(s.contains("\"total_seconds\": 1.760"));
         // one comma between the two experiment entries, none after the last
@@ -381,7 +448,7 @@ mod tests {
 
     #[test]
     fn bench_json_records_harness_timestamp() {
-        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None);
+        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None, None);
         assert!(s.contains("\"generated_at\": \"2026-08-05T00:00:00Z\""));
     }
 
@@ -396,7 +463,7 @@ mod tests {
             engines_agree: true,
         };
         assert!(sweep.speedup() > 39.0 && sweep.speedup() < 41.0);
-        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep));
+        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep), None);
         assert!(s.contains("\"fig2_mapping_sweep\": {"));
         assert!(s.contains("\"points\": 32"));
         assert!(s.contains("\"replay_seconds\": 0.4800"));
@@ -404,6 +471,57 @@ mod tests {
         assert!(s.contains("\"speedup\": 40.00"));
         assert!(s.contains("\"dag_nodes\": 12288"));
         assert!(s.contains("\"engines_agree\": true"));
+    }
+
+    #[test]
+    fn bench_json_records_scenario_cache_entry() {
+        let cache = CacheReport {
+            points: 32,
+            queries: 64,
+            cold_seconds: 0.6,
+            warm_seconds: 0.012,
+            result_hits: 96,
+            result_misses: 32,
+            coalesced: 0,
+            trace_hits: 28,
+            bitwise_identical: true,
+        };
+        assert!(cache.speedup() > 49.0 && cache.speedup() < 51.0);
+        let s = bench_json_report("quick", 1, &[], 0.7, None, None, Some(&cache));
+        assert!(s.contains("\"scenario_cache\": {"));
+        assert!(s.contains("\"queries\": 64"));
+        assert!(s.contains("\"cold_seconds\": 0.6000"));
+        assert!(s.contains("\"warm_seconds\": 0.0120"));
+        assert!(s.contains("\"speedup\": 50.00"));
+        assert!(s.contains("\"result_hits\": 96"));
+        assert!(s.contains("\"trace_hits\": 28"));
+        assert!(s.contains("\"bitwise_identical\": true"));
+    }
+
+    #[test]
+    fn cache_flags_parse_and_validate() {
+        let args: Vec<String> =
+            ["--cache-dir", "/tmp/c", "fig2"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid cache flags");
+        assert_eq!(f.cache_dir, Some(PathBuf::from("/tmp/c")));
+        assert!(!f.no_cache);
+        assert_eq!(f.positional, vec!["fig2".to_string()]);
+
+        let args: Vec<String> = ["--no-cache", "fig2"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid no-cache flag");
+        assert!(f.no_cache);
+        assert_eq!(f.cache_dir, None);
+
+        // the two are a contradiction, diagnosed on one line
+        let args: Vec<String> =
+            ["--cache-dir", "/tmp/c", "--no-cache"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("conflicting cache flags");
+        assert!(err.contains("--cache-dir") && err.contains("--no-cache"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+
+        // dangling value is diagnosed like every other flag
+        let args: Vec<String> = ["--cache-dir"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).unwrap_err().contains("missing value"));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Spec-driven evaluation: what a tier-1 miss actually runs.
+//!
+//! One entry point, [`evaluate_in`], turns a [`ScenarioSpec`] into its
+//! result vector through the cache:
+//!
+//! 1. tier-1 lookup on the spec hash — a hit returns immediately;
+//! 2. for trace-replayable programs (HALO, MD), tier-2 lookup on the
+//!    program sub-hash — a hit replays the shared trace, a miss records
+//!    it once for everyone;
+//! 3. the point is priced with exactly the same code path the direct
+//!    entry points use (replay, or a DAG critical-path pass where the
+//!    process-global [`SweepEngine`] selects it *and* it is provably
+//!    exact), so cached and uncached runs are bit-identical.
+//!
+//! The result-vector layout per program is part of the store format:
+//!
+//! | program        | values                                              |
+//! |----------------|-----------------------------------------------------|
+//! | halo           | `[seconds_per_exchange]`                            |
+//! | md             | `[seconds_per_step, ns_per_day]`                    |
+//! | hpl            | `[seconds, gflops, efficiency]`                     |
+//! | imb-allreduce  | `[usec]`                                            |
+//! | pop            | `[syd, baroclinic_s, barrier_s, barotropic_s]`      |
+
+use crate::spec::{ProgramSpec, ScenarioSpec};
+use crate::store::ScenarioCache;
+use hpcsim_apps as apps;
+use hpcsim_faults::FaultPlan;
+use hpcsim_hpcc as hpcc;
+use hpcsim_mpi::{SweepEngine, TraceDag};
+use std::sync::Arc;
+
+/// Why a scenario could not be evaluated (today: a fault-induced stall;
+/// the diagnostic is the replay engine's, verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate `spec` through `cache` (both tiers + in-flight dedupe).
+/// Returns the program's result vector (layout in the module docs).
+pub fn evaluate_in(
+    cache: &ScenarioCache,
+    spec: &ScenarioSpec,
+) -> Result<Arc<Vec<f64>>, EvalError> {
+    let spec = spec.clone().canonicalized();
+    cache
+        .result(spec.hash(), || cold_evaluate(cache, &spec))
+        .map_err(|message| EvalError { message })
+}
+
+/// The tier-1 miss path. Still consults tier 2 for trace sharing.
+fn cold_evaluate(cache: &ScenarioCache, spec: &ScenarioSpec) -> Result<Vec<f64>, String> {
+    let machine = &spec.machine;
+    match &spec.program {
+        ProgramSpec::Halo(cfg) => {
+            let entry = cache.traces(spec.program_hash(), || hpcc::halo_traces(cfg));
+            if let Some(f) = spec.faults {
+                let plan = FaultPlan::new(f.seed, f.profile);
+                let secs = hpcc::halo_eval_traces_faulty(
+                    machine,
+                    spec.mode,
+                    spec.mapping,
+                    cfg,
+                    &entry.traces,
+                    &plan,
+                )
+                .map_err(|e| e.to_string())?;
+                Ok(vec![secs])
+            } else {
+                let dag = dag_if_selected(&entry, machine);
+                Ok(vec![hpcc::halo_eval_traces(
+                    machine,
+                    spec.mode,
+                    spec.mapping,
+                    cfg,
+                    &entry.traces,
+                    dag.as_deref(),
+                )])
+            }
+        }
+        ProgramSpec::Md { ranks, cfg } => {
+            let entry = cache.traces(spec.program_hash(), || apps::md_traces(*ranks, cfg));
+            let dag = dag_if_selected(&entry, machine);
+            let r = apps::md_eval_traces(machine, *ranks, cfg, &entry.traces, dag.as_deref());
+            Ok(vec![r.seconds_per_step, r.ns_per_day])
+        }
+        ProgramSpec::Hpl(cfg) => {
+            let r = hpcc::hpl_run(machine, spec.mode, cfg);
+            Ok(vec![r.seconds, r.gflops, r.efficiency])
+        }
+        ProgramSpec::ImbAllreduce { ranks, bytes, dtype } => {
+            let p = hpcc::imb_allreduce(machine, spec.mode, *ranks, *bytes, *dtype);
+            Ok(vec![p.usec])
+        }
+        ProgramSpec::Pop { ranks, threads, cfg } => {
+            let r = apps::pop_run(machine, spec.mode, *ranks, *threads, cfg);
+            Ok(vec![r.syd, r.baroclinic_s, r.barrier_s, r.barotropic_s])
+        }
+    }
+}
+
+/// The shared compiled DAG, but only when the process-global engine
+/// selector asks for it and it is provably exact on this machine — the
+/// same gate the direct sweep entry points apply, so engine selection
+/// never changes a cached value.
+fn dag_if_selected(
+    entry: &crate::store::TraceEntry,
+    machine: &hpcsim_machine::MachineSpec,
+) -> Option<Arc<TraceDag>> {
+    if hpcsim_mpi::sweep_engine() == SweepEngine::Dag && TraceDag::exact_for(machine) {
+        Some(Arc::clone(entry.dag()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CacheConfig;
+    use hpcsim_faults::FaultProfile;
+    use hpcsim_hpcc::{HaloConfig, HaloProtocol};
+    use hpcsim_machine::registry::{bluegene_p, xt4_dc};
+    use hpcsim_machine::ExecMode;
+    use hpcsim_topo::{Grid2D, Mapping};
+
+    fn cache() -> ScenarioCache {
+        ScenarioCache::new(CacheConfig::default())
+    }
+
+    fn halo_cfg() -> HaloConfig {
+        HaloConfig {
+            grid: Grid2D::new(8, 8),
+            words: 2048,
+            protocol: HaloProtocol::IrecvIsend,
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn halo_matches_direct_entry_point_bitwise() {
+        let m = bluegene_p();
+        let c = cache();
+        for mapping in [Mapping::txyz(), Mapping::xyzt()] {
+            let spec = ScenarioSpec::halo(&m, ExecMode::Vn, mapping, halo_cfg());
+            let cached = evaluate_in(&c, &spec).unwrap();
+            let direct = hpcc::halo_run(&m, ExecMode::Vn, mapping, &halo_cfg());
+            assert_eq!(cached[0].to_bits(), direct.to_bits());
+        }
+        let s = c.stats();
+        assert_eq!(s.result_misses, 2);
+        assert_eq!(s.trace_hits, 1, "second mapping shares the tier-2 trace");
+    }
+
+    #[test]
+    fn md_matches_direct_entry_point_bitwise() {
+        let m = xt4_dc();
+        let c = cache();
+        let spec = ScenarioSpec::md(&m, 64, apps::MdConfig::lammps_rub());
+        let cached = evaluate_in(&c, &spec).unwrap();
+        let direct = apps::md_run(&m, 64, &apps::MdConfig::lammps_rub());
+        assert_eq!(cached[0].to_bits(), direct.seconds_per_step.to_bits());
+        assert_eq!(cached[1].to_bits(), direct.ns_per_day.to_bits());
+        // warm lookup: no new evaluation
+        let warm = evaluate_in(&c, &spec).unwrap();
+        assert_eq!(warm[0].to_bits(), cached[0].to_bits());
+        assert_eq!(c.stats().result_hits, 1);
+    }
+
+    #[test]
+    fn faulty_halo_round_trips_and_errors_stay_uncached() {
+        let m = bluegene_p();
+        let c = cache();
+        let spec = ScenarioSpec::halo(&m, ExecMode::Vn, Mapping::txyz(), halo_cfg())
+            .with_faults(5, FaultProfile::Mixed);
+        let cached = evaluate_in(&c, &spec).unwrap();
+        let direct = hpcc::halo_run_faulty(
+            &m,
+            ExecMode::Vn,
+            Mapping::txyz(),
+            &halo_cfg(),
+            &FaultPlan::new(5, FaultProfile::Mixed),
+        )
+        .unwrap();
+        assert_eq!(cached[0].to_bits(), direct.to_bits());
+        // faulty and pristine specs are distinct tier-1 entries sharing tier 2
+        let pristine = ScenarioSpec::halo(&m, ExecMode::Vn, Mapping::txyz(), halo_cfg());
+        let p = evaluate_in(&c, &pristine).unwrap();
+        assert!(p[0] <= cached[0], "faults never speed a halo up");
+        assert_eq!(c.stats().trace_hits, 1);
+    }
+
+    #[test]
+    fn dag_engine_selection_does_not_change_cached_values() {
+        use hpcsim_mpi::set_sweep_engine;
+        let flat = bluegene_p().with_flat_contention();
+        let spec = ScenarioSpec::halo(&flat, ExecMode::Vn, Mapping::xyzt(), halo_cfg());
+        let c_replay = cache();
+        set_sweep_engine(SweepEngine::Replay);
+        let replay = evaluate_in(&c_replay, &spec).unwrap();
+        let c_dag = cache();
+        set_sweep_engine(SweepEngine::Dag);
+        let dag = evaluate_in(&c_dag, &spec).unwrap();
+        set_sweep_engine(SweepEngine::Replay);
+        assert_eq!(replay[0].to_bits(), dag[0].to_bits());
+    }
+
+    #[test]
+    fn hpl_imb_pop_cache_through_tier1() {
+        let m = bluegene_p();
+        let c = cache();
+        let specs = [
+            ScenarioSpec::hpl(
+                &m,
+                ExecMode::Vn,
+                hpcc::HplConfig { n: 4096, nb: 128, grid: Grid2D::new(4, 4), samples: 2 },
+            ),
+            ScenarioSpec::imb_allreduce(&m, ExecMode::Vn, 32, 1024, hpcsim_net::DType::F64),
+            ScenarioSpec::pop(&m, ExecMode::Vn, 16, 1, apps::PopConfig::default()),
+        ];
+        for spec in &specs {
+            let first = evaluate_in(&c, spec).unwrap();
+            let second = evaluate_in(&c, spec).unwrap();
+            assert_eq!(
+                first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                second.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert!(first.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        let s = c.stats();
+        assert_eq!((s.result_misses, s.result_hits), (3, 3));
+        // none of these are trace-replayable: tier 2 untouched
+        assert_eq!((s.trace_misses, s.trace_hits), (0, 0));
+    }
+}

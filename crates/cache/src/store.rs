@@ -1,0 +1,627 @@
+//! The two-tier content-addressed store.
+//!
+//! * **Tier 1 — results**: spec hash → the full result vector of the
+//!   evaluated scenario, stored as exact f64 bit patterns. A hit skips
+//!   *all* simulation.
+//! * **Tier 2 — traces**: program sub-hash → the recorded per-rank op
+//!   traces (plus a lazily compiled [`TraceDag`]). A tier-1 miss whose
+//!   program was seen before replays the shared trace instead of
+//!   re-recording it — the record-once/replay-per-point split, made
+//!   persistent.
+//!
+//! Both tiers are sharded `Mutex<HashMap>`s with:
+//!
+//! * **in-flight dedupe** — concurrent identical requests (e.g. the same
+//!   spec issued from several `parmap` workers) coalesce onto one
+//!   evaluation; followers block on a condvar and receive the leader's
+//!   value;
+//! * **FIFO eviction** — each tier is bounded; inserting past the cap
+//!   evicts the oldest entry (the access pattern this serves — sweeps
+//!   around a design point — has little recency skew, so FIFO ≈ LRU at
+//!   far lower bookkeeping cost);
+//! * an optional **on-disk layer** — misses consult
+//!   `<dir>/results/<hash>` / `<dir>/traces/<hash>` and successful
+//!   evaluations write through (temp file + rename, so concurrent
+//!   processes never observe a torn entry).
+//!
+//! Failed evaluations (fault-induced stalls) are *not* cached: they are
+//! deterministic, so recomputing reproduces the same diagnostic, and
+//! keeping error states out of the store keeps its invariant simple —
+//! every stored value is a completed simulation.
+
+use crate::spec::SpecHash;
+use hpcsim_mpi::{Op, TraceDag};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+
+/// Construction-time options for a [`ScenarioCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// When false, every lookup computes directly (no memoization, no
+    /// stats) — the `--no-cache` escape hatch.
+    pub enabled: bool,
+    /// Optional on-disk layer root. Created on first use.
+    pub dir: Option<PathBuf>,
+    /// Tier-1 capacity in results.
+    pub result_cap: usize,
+    /// Tier-2 capacity in trace worlds (each can be large: cap is small).
+    pub trace_cap: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { enabled: true, dir: None, result_cap: 65_536, trace_cap: 64 }
+    }
+}
+
+/// Monotonic hit/miss counters. Snapshot with [`ScenarioCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Tier-1 lookups served from memory or disk.
+    pub result_hits: u64,
+    /// Tier-1 lookups that had to evaluate.
+    pub result_misses: u64,
+    /// Lookups that coalesced onto a concurrent identical evaluation.
+    pub coalesced: u64,
+    /// Tier-1 hits satisfied by the on-disk layer.
+    pub disk_result_hits: u64,
+    /// Tier-2 lookups served from memory or disk.
+    pub trace_hits: u64,
+    /// Tier-2 lookups that had to record a trace.
+    pub trace_misses: u64,
+    /// Tier-2 hits satisfied by the on-disk layer.
+    pub disk_trace_hits: u64,
+    /// Entries dropped by the FIFO bound (both tiers).
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    coalesced: AtomicU64,
+    disk_result_hits: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    disk_trace_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A recorded trace world plus its lazily compiled DAG. Shared by every
+/// query replaying the same program.
+pub struct TraceEntry {
+    /// Per-rank op traces, exactly as recorded.
+    pub traces: Vec<Vec<Op>>,
+    dag: OnceLock<Arc<TraceDag>>,
+}
+
+impl TraceEntry {
+    /// Wrap freshly recorded (or loaded) traces.
+    pub fn new(traces: Vec<Vec<Op>>) -> Self {
+        TraceEntry { traces, dag: OnceLock::new() }
+    }
+
+    /// The compiled DAG, built on first demand and reused by every
+    /// subsequent DAG-engine evaluation of this program.
+    pub fn dag(&self) -> &Arc<TraceDag> {
+        self.dag.get_or_init(|| Arc::new(TraceDag::compile_world(&self.traces)))
+    }
+}
+
+/// What a follower thread receives from an in-flight leader.
+type FlightOutcome<V> = Result<V, String>;
+
+struct Flight<V> {
+    done: Mutex<Option<FlightOutcome<V>>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Self {
+        Flight { done: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn publish(&self, outcome: FlightOutcome<V>) {
+        *self.done.lock().unwrap() = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FlightOutcome<V> {
+        let mut guard = self.done.lock().unwrap();
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+enum Slot<V> {
+    Ready(V),
+    InFlight(Arc<Flight<V>>),
+}
+
+struct Shard<V> {
+    map: HashMap<u128, Slot<V>>,
+    fifo: VecDeque<u128>,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { map: HashMap::new(), fifo: VecDeque::new() }
+    }
+}
+
+struct Tier<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Per-shard FIFO capacity (total cap split across shards).
+    shard_cap: usize,
+}
+
+impl<V: Clone> Tier<V> {
+    fn new(cap: usize) -> Self {
+        Tier {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: cap.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, hash: SpecHash) -> &Mutex<Shard<V>> {
+        // low bits of FNV are well mixed
+        &self.shards[(hash.0 as usize) % SHARDS]
+    }
+
+    /// The dedupe engine shared by both tiers. Exactly one caller per
+    /// hash evaluates; everyone else gets its value (memory hit, flight
+    /// coalesce, or disk hit).
+    #[allow(clippy::too_many_arguments)]
+    fn get_or_compute(
+        &self,
+        hash: SpecHash,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        coalesced: &AtomicU64,
+        disk_hits: &AtomicU64,
+        evictions: &AtomicU64,
+        disk_load: impl FnOnce() -> Option<V>,
+        disk_store: impl FnOnce(&V),
+        compute: impl FnOnce() -> Result<V, String>,
+    ) -> Result<V, String> {
+        let flight: Arc<Flight<V>>;
+        {
+            let mut shard = self.shard(hash).lock().unwrap();
+            match shard.map.get(&hash.0) {
+                Some(Slot::Ready(v)) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v.clone());
+                }
+                Some(Slot::InFlight(f)) => {
+                    let f = Arc::clone(f);
+                    drop(shard);
+                    coalesced.fetch_add(1, Ordering::Relaxed);
+                    return f.wait().map_err(|e| format!("coalesced onto failed evaluation: {e}"));
+                }
+                None => {
+                    flight = Arc::new(Flight::new());
+                    shard.map.insert(hash.0, Slot::InFlight(Arc::clone(&flight)));
+                }
+            }
+        }
+
+        // We are the leader. Never hold the shard lock while loading,
+        // computing or touching disk.
+        let outcome: Result<(V, bool), String> = match disk_load() {
+            Some(v) => Ok((v, true)),
+            None => {
+                let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
+                match computed {
+                    Ok(Ok(v)) => Ok((v, false)),
+                    Ok(Err(e)) => Err(e),
+                    Err(panic) => {
+                        // release followers, forget the slot, re-raise
+                        // (&*: coerce to the payload, not the Box-as-Any)
+                        let msg = panic_message(&*panic);
+                        flight.publish(Err(msg));
+                        self.shard(hash).lock().unwrap().map.remove(&hash.0);
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        };
+
+        match outcome {
+            Ok((v, from_disk)) => {
+                if from_disk {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    disk_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    misses.fetch_add(1, Ordering::Relaxed);
+                    disk_store(&v);
+                }
+                flight.publish(Ok(v.clone()));
+                let mut shard = self.shard(hash).lock().unwrap();
+                shard.map.insert(hash.0, Slot::Ready(v.clone()));
+                shard.fifo.push_back(hash.0);
+                while shard.fifo.len() > self.shard_cap {
+                    if let Some(old) = shard.fifo.pop_front() {
+                        if matches!(shard.map.get(&old), Some(Slot::Ready(_))) {
+                            shard.map.remove(&old);
+                            evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(v)
+            }
+            Err(e) => {
+                misses.fetch_add(1, Ordering::Relaxed);
+                flight.publish(Err(e.clone()));
+                self.shard(hash).lock().unwrap().map.remove(&hash.0);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
+
+/// The two-tier scenario store. Cheap to share (`Arc`); all methods take
+/// `&self` and are safe under any `parmap` worker count.
+pub struct ScenarioCache {
+    cfg: CacheConfig,
+    results: Tier<Arc<Vec<f64>>>,
+    traces: Tier<Arc<TraceEntry>>,
+    stats: StatCells,
+}
+
+impl ScenarioCache {
+    /// An empty cache with the given bounds/backing.
+    pub fn new(cfg: CacheConfig) -> Self {
+        ScenarioCache {
+            results: Tier::new(cfg.result_cap),
+            traces: Tier::new(cfg.trace_cap),
+            cfg,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Whether lookups memoize at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The on-disk layer root, if configured.
+    pub fn dir(&self) -> Option<&Path> {
+        self.cfg.dir.as_deref()
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let s = &self.stats;
+        CacheStats {
+            result_hits: s.result_hits.load(Ordering::Relaxed),
+            result_misses: s.result_misses.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            disk_result_hits: s.disk_result_hits.load(Ordering::Relaxed),
+            trace_hits: s.trace_hits.load(Ordering::Relaxed),
+            trace_misses: s.trace_misses.load(Ordering::Relaxed),
+            disk_trace_hits: s.disk_trace_hits.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tier-1 lookup: the memoized result vector for `hash`, computing
+    /// (and storing) it on a miss. `compute` may fail; failures are
+    /// returned to every coalesced waiter and never cached.
+    pub fn result(
+        &self,
+        hash: SpecHash,
+        compute: impl FnOnce() -> Result<Vec<f64>, String>,
+    ) -> Result<Arc<Vec<f64>>, String> {
+        if !self.cfg.enabled {
+            return compute().map(Arc::new);
+        }
+        let s = &self.stats;
+        self.results.get_or_compute(
+            hash,
+            &s.result_hits,
+            &s.result_misses,
+            &s.coalesced,
+            &s.disk_result_hits,
+            &s.evictions,
+            || self.load_result(hash),
+            |v| self.store_result(hash, v),
+            || compute().map(Arc::new),
+        )
+    }
+
+    /// Tier-2 lookup: the shared trace world for a program sub-hash,
+    /// recording it on a miss. Recording is infallible (trace capture
+    /// involves no machine model), so this never errors.
+    pub fn traces(
+        &self,
+        program_hash: SpecHash,
+        record: impl FnOnce() -> Vec<Vec<Op>>,
+    ) -> Arc<TraceEntry> {
+        if !self.cfg.enabled {
+            return Arc::new(TraceEntry::new(record()));
+        }
+        let s = &self.stats;
+        self.traces
+            .get_or_compute(
+                program_hash,
+                &s.trace_hits,
+                &s.trace_misses,
+                &s.coalesced,
+                &s.disk_trace_hits,
+                &s.evictions,
+                || self.load_traces(program_hash),
+                |v| self.store_traces(program_hash, v),
+                || Ok(Arc::new(TraceEntry::new(record()))),
+            )
+            .expect("trace recording is infallible")
+    }
+
+    // ----- on-disk layer -------------------------------------------------
+
+    fn result_path(&self, hash: SpecHash) -> Option<PathBuf> {
+        self.cfg.dir.as_ref().map(|d| d.join("results").join(hash.to_string()))
+    }
+
+    fn trace_path(&self, hash: SpecHash) -> Option<PathBuf> {
+        self.cfg.dir.as_ref().map(|d| d.join("traces").join(hash.to_string()))
+    }
+
+    fn load_result(&self, hash: SpecHash) -> Option<Arc<Vec<f64>>> {
+        let text = std::fs::read_to_string(self.result_path(hash)?).ok()?;
+        parse_result_file(&text).map(Arc::new)
+    }
+
+    fn store_result(&self, hash: SpecHash, v: &Arc<Vec<f64>>) {
+        if let Some(path) = self.result_path(hash) {
+            let mut text = format!("hpcsim-result/1 {}\n", v.len());
+            for x in v.iter() {
+                text.push_str(&format!("0x{:016x}\n", x.to_bits()));
+            }
+            write_atomic(&path, &text);
+        }
+    }
+
+    fn load_traces(&self, hash: SpecHash) -> Option<Arc<TraceEntry>> {
+        let text = std::fs::read_to_string(self.trace_path(hash)?).ok()?;
+        let traces = hpcsim_mpi::parse_traces(&text).ok()?;
+        Some(Arc::new(TraceEntry::new(traces)))
+    }
+
+    fn store_traces(&self, hash: SpecHash, v: &Arc<TraceEntry>) {
+        if let Some(path) = self.trace_path(hash) {
+            write_atomic(&path, &hpcsim_mpi::write_traces(&v.traces));
+        }
+    }
+}
+
+fn parse_result_file(text: &str) -> Option<Vec<f64>> {
+    let mut lines = text.lines();
+    let mut header = lines.next()?.split_ascii_whitespace();
+    if header.next()? != "hpcsim-result/1" {
+        return None;
+    }
+    let len: usize = header.next()?.parse().ok()?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let bits = u64::from_str_radix(lines.next()?.strip_prefix("0x")?, 16).ok()?;
+        out.push(f64::from_bits(bits));
+    }
+    Some(out)
+}
+
+/// Write `text` to `path` via a same-directory temp file + rename, so a
+/// concurrent reader sees either nothing or the complete entry. Disk-
+/// layer writes are best-effort: on any I/O error the cache silently
+/// stays memory-only for that entry.
+fn write_atomic(path: &Path, text: &str) {
+    let Some(parent) = path.parent() else { return };
+    if std::fs::create_dir_all(parent).is_err() {
+        return;
+    }
+    let tmp = parent.join(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
+    ));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn hash(n: u128) -> SpecHash {
+        SpecHash(n)
+    }
+
+    fn mem_cache() -> ScenarioCache {
+        ScenarioCache::new(CacheConfig::default())
+    }
+
+    #[test]
+    fn result_memoizes_and_counts() {
+        let cache = mem_cache();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache
+                .result(hash(7), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![1.5, 2.5])
+                })
+                .unwrap();
+            assert_eq!(*v, vec![1.5, 2.5]);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.result_hits, s.result_misses), (2, 1));
+    }
+
+    #[test]
+    fn errors_are_returned_but_never_cached() {
+        let cache = mem_cache();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..2 {
+            let e = cache
+                .result(hash(9), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Err("stalled".to_string())
+                })
+                .unwrap_err();
+            assert!(e.contains("stalled"));
+        }
+        // both lookups computed: the failure was not memoized
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(cache.result(hash(9), || Ok(vec![4.0])).is_ok());
+    }
+
+    #[test]
+    fn disabled_cache_computes_every_time() {
+        let cache = ScenarioCache::new(CacheConfig { enabled: false, ..CacheConfig::default() });
+        let calls = AtomicUsize::new(0);
+        for _ in 0..2 {
+            cache
+                .result(hash(1), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![0.0])
+                })
+                .unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_each_shard() {
+        let cache = ScenarioCache::new(CacheConfig {
+            result_cap: SHARDS, // one entry per shard
+            ..CacheConfig::default()
+        });
+        // land many entries in the same shard: hashes ≡ 3 (mod SHARDS)
+        for i in 0..4u128 {
+            cache.result(hash(3 + i * SHARDS as u128), || Ok(vec![i as f64])).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.evictions, 3, "{s:?}");
+        // oldest evicted: recomputes
+        let calls = AtomicUsize::new(0);
+        cache
+            .result(hash(3), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![9.0])
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let cache = Arc::new(mem_cache());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .result(hash(42), || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // widen the in-flight window
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(vec![3.25])
+                    })
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), vec![3.25]);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "leader evaluated once");
+        let s = cache.stats();
+        assert_eq!(s.result_misses, 1);
+        assert_eq!(s.result_hits + s.coalesced, 7, "{s:?}");
+    }
+
+    #[test]
+    fn leader_panic_releases_followers_and_clears_slot() {
+        let cache = Arc::new(mem_cache());
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.result(hash(13), || {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("scenario exploded")
+                    })
+                }));
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // this either coalesces onto the failing flight (gets an Err) or
+        // arrives after cleanup and computes fresh — both must terminate
+        let second = cache.result(hash(13), || Ok(vec![1.0]));
+        leader.join().unwrap();
+        match second {
+            Ok(v) => assert_eq!(*v, vec![1.0]),
+            Err(e) => assert!(e.contains("scenario exploded"), "{e}"),
+        }
+        // slot is clean afterwards
+        assert_eq!(*cache.result(hash(13), || Ok(vec![2.0])).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn disk_layer_round_trips_results_and_traces() {
+        let dir = std::env::temp_dir().join(format!("hpcsim-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CacheConfig { dir: Some(dir.clone()), ..CacheConfig::default() };
+
+        let a = ScenarioCache::new(cfg.clone());
+        let v = a.result(hash(77), || Ok(vec![0.1, f64::INFINITY, -0.0])).unwrap();
+        let traces = vec![vec![Op::Mark { id: 1 }], vec![Op::Mark { id: 2 }]];
+        let t = a.traces(hash(78), || traces.clone());
+        assert_eq!(t.traces, traces);
+
+        // a fresh cache over the same dir serves both without computing
+        let b = ScenarioCache::new(cfg);
+        let v2 = b
+            .result(hash(77), || panic!("must come from disk"))
+            .unwrap();
+        assert_eq!(v2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                   v.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        let t2 = b.traces(hash(78), || panic!("must come from disk"));
+        assert_eq!(t2.traces, traces);
+        let s = b.stats();
+        assert_eq!(s.disk_result_hits, 1);
+        assert_eq!(s.disk_trace_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_entry_compiles_dag_once() {
+        let traces = vec![vec![Op::Mark { id: 1 }]];
+        let entry = TraceEntry::new(traces);
+        let d1 = Arc::as_ptr(entry.dag());
+        let d2 = Arc::as_ptr(entry.dag());
+        assert_eq!(d1, d2);
+    }
+}

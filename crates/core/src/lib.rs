@@ -18,6 +18,7 @@
 //! them at `Paper`.
 
 pub mod ablations;
+pub mod cache_bench;
 pub mod experiment;
 pub mod paper;
 pub mod probe;
@@ -27,6 +28,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use ablations::{ablation_table, run_ablations, Ablation};
+pub use cache_bench::{scenario_cache_battery, ScenarioCacheStats};
 pub use experiment::{run_experiment, Artifact, ExperimentId, Scale};
 pub use hpcsim_mpi::{set_sweep_engine, sweep_engine, SweepEngine};
 pub use sweep::{fig2_mapping_sweep, MappingSweepStats};

@@ -202,13 +202,14 @@ pub fn fig2(scale: Scale) -> Vec<Figure> {
         panels.push(fig);
     }
 
-    // (c,d) mappings at 4096 and 8192 cores, VN. A (grid, halo-size)
-    // pair's trace depends on neither the mapping nor the panel, so the
-    // unique pairs across both panels are recorded and swept once —
-    // each sweep replays (or DAG-evaluates) a single trace under all
-    // mappings — and the panels index into the shared results. The two
-    // panels coincide entirely when `scale` clamps them to the same
-    // rank count.
+    // (c,d) mappings at 4096 and 8192 cores, VN. Every (grid, halo
+    // size, mapping) point goes through the process-global scenario
+    // cache: a (grid, halo-size) pair's trace depends on neither the
+    // mapping nor the panel, so tier 2 records it once and all eight
+    // mappings replay (or DAG-evaluate) the shared trace, while tier 1
+    // memoizes the finished points — the panels coincide entirely when
+    // `scale` clamps them to the same rank count, and re-running the
+    // figure in-process (or against `--cache-dir`) is pure lookups.
     let panel_specs =
         [("Fig 2(c): mappings, 4096 cores", 4096usize), ("Fig 2(d): mappings, 8192 cores", 8192)];
     let mappings: Vec<Mapping> = Mapping::fig2_set().iter().map(|&(_, m2)| m2).collect();
@@ -222,10 +223,16 @@ pub fn fig2(scale: Scale) -> Vec<Figure> {
             }
         }
     }
-    let swept = parmap(&keys, |&(grid, w)| {
+    let points_cd: Vec<(Grid2D, u64, Mapping)> = keys
+        .iter()
+        .flat_map(|&(grid, w)| mappings.iter().map(move |&mp| (grid, w, mp)))
+        .collect();
+    let cache = hpcsim_cache::global();
+    let swept = parmap(&points_cd, |&(grid, w, mapping)| {
         let cfg =
             hpcc::HaloConfig { grid, words: w, protocol: hpcc::HaloProtocol::IrecvIsend, reps: 2 };
-        hpcc::halo_run_mapped(&m, ExecMode::Vn, &mappings, &cfg)
+        let spec = hpcsim_cache::ScenarioSpec::halo(&m, ExecMode::Vn, mapping, cfg);
+        hpcsim_cache::evaluate_in(&cache, &spec).expect("pristine halo scenarios evaluate")[0]
     });
     for (&(title, _), &grid) in panel_specs.iter().zip(&panel_grids) {
         let mut fig = Figure::new(title, "halo words", "usec per exchange");
@@ -237,7 +244,7 @@ pub fn fig2(scale: Scale) -> Vec<Figure> {
                         .iter()
                         .position(|&(kg, kw)| kg == grid && kw == w)
                         .expect("every (panel grid, word) pair was swept");
-                    (w as f64, swept[ki][i] * 1e6)
+                    (w as f64, swept[ki * mappings.len() + i] * 1e6)
                 })
                 .collect();
             fig.push_series(name.clone(), pts);

@@ -47,7 +47,7 @@ impl HaloProtocol {
 }
 
 /// A HALO experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HaloConfig {
     /// Virtual process grid (e.g. 128×64 for 8192 cores).
     pub grid: Grid2D,
@@ -220,6 +220,49 @@ pub fn halo_run_traces_with(
         .collect()
 }
 
+/// Evaluate a single (machine, mode, mapping) point from traces the
+/// caller already holds (they must be `halo_traces(cfg)`), optionally
+/// through a pre-compiled DAG. This is the scenario cache's warm path:
+/// tier 2 hands back the shared trace (and its once-compiled DAG) and
+/// the point costs one replay — or one critical-path pass where the DAG
+/// is exact ([`TraceDag::exact_for`]). Bit-identical to
+/// [`halo_run_mapped_with`] on the same point.
+pub fn halo_eval_traces(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+    traces: &[Vec<hpcsim_mpi::Op>],
+    dag: Option<&TraceDag>,
+) -> f64 {
+    let ranks = cfg.grid.size();
+    let layout = halo_layout(machine, mode, mapping, ranks);
+    let sim_cfg = SimConfig { machine: machine.clone(), mode, threads: 1, layout };
+    let res = match dag {
+        Some(d) if TraceDag::exact_for(machine) => d.evaluate(&sim_cfg),
+        _ => TraceSim::new(sim_cfg).replay_traces(traces),
+    };
+    res.makespan().as_secs() / cfg.reps as f64
+}
+
+/// [`halo_eval_traces`] under an armed fault plan (always event-queue
+/// replay: fault injection needs the full engine). Errors are the same
+/// diagnosed stalls [`halo_run_faulty`] reports.
+pub fn halo_eval_traces_faulty(
+    machine: &MachineSpec,
+    mode: ExecMode,
+    mapping: Mapping,
+    cfg: &HaloConfig,
+    traces: &[Vec<hpcsim_mpi::Op>],
+    plan: &hpcsim_faults::FaultPlan,
+) -> Result<f64, hpcsim_mpi::SimError> {
+    let ranks = cfg.grid.size();
+    let layout = halo_layout(machine, mode, mapping, ranks);
+    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
+    sim.set_faults(plan);
+    Ok(sim.try_replay_traces(traces)?.makespan().as_secs() / cfg.reps as f64)
+}
+
 /// Convenience: microseconds per exchange.
 pub fn halo_us(machine: &MachineSpec, mode: ExecMode, mapping: Mapping, cfg: &HaloConfig) -> f64 {
     halo_run(machine, mode, mapping, cfg) * 1e6
@@ -236,12 +279,7 @@ pub fn halo_run_faulty(
     cfg: &HaloConfig,
     plan: &hpcsim_faults::FaultPlan,
 ) -> Result<f64, hpcsim_mpi::SimError> {
-    let ranks = cfg.grid.size();
-    let traces = halo_traces(cfg);
-    let layout = halo_layout(machine, mode, mapping, ranks);
-    let mut sim = TraceSim::new(SimConfig { machine: machine.clone(), mode, threads: 1, layout });
-    sim.set_faults(plan);
-    Ok(sim.try_replay_traces(&traces)?.makespan().as_secs() / cfg.reps as f64)
+    halo_eval_traces_faulty(machine, mode, mapping, cfg, &halo_traces(cfg), plan)
 }
 
 /// [`halo_run`] with an observability sink: returns the seconds per

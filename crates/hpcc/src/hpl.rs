@@ -17,7 +17,7 @@ use hpcsim_topo::Grid2D;
 use serde::Serialize;
 
 /// HPL run configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct HplConfig {
     /// Matrix order.
     pub n: u64,

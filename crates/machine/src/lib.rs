@@ -29,7 +29,8 @@ pub mod node_model;
 pub mod registry;
 
 pub use arch::{
-    CacheCoherence, CoreArch, L2Kind, MachineId, MachineSpec, MemorySpec, NicSpec, PowerSpec,
+    CacheCoherence, CoreArch, L2Kind, MachineId, MachineSpec, MemorySpec, NicSpec, Packaging,
+    PowerSpec,
 };
 pub use cost::{CostDesc, Workload};
 pub use exec::ExecMode;

@@ -38,10 +38,12 @@ pub mod ops;
 pub mod program;
 pub mod result;
 pub mod sim;
+pub mod wire;
 
 pub use dag::{set_sweep_engine, sweep_engine, DagStats, SweepEngine, TraceDag};
 pub use layout::RankLayout;
 pub use ops::{CommId, Op, Req};
+pub use wire::{parse_traces, write_traces};
 pub use program::{FnProgram, Mpi, Program};
 pub use result::{SimError, SimResult};
 pub use sim::{SimConfig, TraceSim};

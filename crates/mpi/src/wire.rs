@@ -1,0 +1,470 @@
+//! Stable text serialization of recorded traces.
+//!
+//! The scenario cache's tier-2 store keeps recorded traces on disk so a
+//! later process can replay (or DAG-compile) them without re-recording.
+//! The format is line-oriented and exact: every float is written as its
+//! IEEE-754 bit pattern in hex, so serialize → parse is the identity on
+//! the trace and replaying a loaded trace is bit-identical to replaying
+//! the original.
+//!
+//! ```text
+//! hpcsim-trace/1 <ranks>
+//! rank <index> <op-count>
+//! c dgemm 2000 1            (compute: workload args, threads)
+//! s 5 3 4096 0              (isend: dst tag bytes req)
+//! k 0 allreduce 512 f64     (collective: comm op args)
+//! ...
+//! ```
+
+use crate::ops::{CommId, Op, Req};
+use hpcsim_engine::SimTime;
+use hpcsim_machine::Workload;
+use hpcsim_net::{CollectiveOp, DType};
+use std::fmt::Write as _;
+
+/// Format-identifying first token of a serialized trace.
+pub const TRACE_MAGIC: &str = "hpcsim-trace/1";
+
+fn push_f64(out: &mut String, v: f64) {
+    let _ = write!(out, " 0x{:016x}", v.to_bits());
+}
+
+fn dtype_name(d: DType) -> &'static str {
+    match d {
+        DType::F32 => "f32",
+        DType::F64 => "f64",
+        DType::Int => "int",
+    }
+}
+
+fn write_workload(out: &mut String, w: &Workload) {
+    match *w {
+        Workload::Dgemm { n } => {
+            let _ = write!(out, "dgemm {n}");
+        }
+        Workload::LuUpdate { m, n, k } => {
+            let _ = write!(out, "lu {m} {n} {k}");
+        }
+        Workload::StreamCopy { n } => {
+            let _ = write!(out, "scopy {n}");
+        }
+        Workload::StreamScale { n } => {
+            let _ = write!(out, "sscale {n}");
+        }
+        Workload::StreamAdd { n } => {
+            let _ = write!(out, "sadd {n}");
+        }
+        Workload::StreamTriad { n } => {
+            let _ = write!(out, "striad {n}");
+        }
+        Workload::Fft1d { n } => {
+            let _ = write!(out, "fft {n}");
+        }
+        Workload::RandomAccess { updates, table_bytes } => {
+            let _ = write!(out, "ra {updates} {table_bytes}");
+        }
+        Workload::Stencil { points, flops_per_point, bytes_per_point } => {
+            let _ = write!(out, "stencil {points}");
+            push_f64(out, flops_per_point);
+            push_f64(out, bytes_per_point);
+        }
+        Workload::Chemistry { points, flops_per_point } => {
+            let _ = write!(out, "chem {points}");
+            push_f64(out, flops_per_point);
+        }
+        Workload::MdForce { pairs, flops_per_pair } => {
+            let _ = write!(out, "mdforce {pairs}");
+            push_f64(out, flops_per_pair);
+        }
+        Workload::Custom { flops, dram_bytes, simd_eff, serial_frac } => {
+            let _ = write!(out, "custom");
+            push_f64(out, flops);
+            push_f64(out, dram_bytes);
+            push_f64(out, simd_eff);
+            push_f64(out, serial_frac);
+        }
+    }
+}
+
+fn write_collective(out: &mut String, op: &CollectiveOp) {
+    match *op {
+        CollectiveOp::Barrier => {
+            let _ = write!(out, "barrier");
+        }
+        CollectiveOp::Bcast { bytes } => {
+            let _ = write!(out, "bcast {bytes}");
+        }
+        CollectiveOp::Reduce { bytes, dtype } => {
+            let _ = write!(out, "reduce {bytes} {}", dtype_name(dtype));
+        }
+        CollectiveOp::Allreduce { bytes, dtype } => {
+            let _ = write!(out, "allreduce {bytes} {}", dtype_name(dtype));
+        }
+        CollectiveOp::Allgather { bytes_per_rank } => {
+            let _ = write!(out, "allgather {bytes_per_rank}");
+        }
+        CollectiveOp::Alltoall { bytes_per_pair } => {
+            let _ = write!(out, "alltoall {bytes_per_pair}");
+        }
+    }
+}
+
+fn write_op(out: &mut String, op: &Op) {
+    match op {
+        Op::Compute { work, threads } => {
+            out.push_str("c ");
+            write_workload(out, work);
+            let _ = write!(out, " {threads}");
+        }
+        Op::Delay { time } => {
+            let _ = write!(out, "d {}", time.0);
+        }
+        Op::Isend { dst, tag, bytes, req } => {
+            let _ = write!(out, "s {dst} {tag} {bytes} {}", req.0);
+        }
+        Op::Irecv { src, tag, bytes, req } => {
+            let _ = write!(out, "r {src} {tag} {bytes} {}", req.0);
+        }
+        Op::Wait { req } => {
+            let _ = write!(out, "w {}", req.0);
+        }
+        Op::Collective { comm, op } => {
+            let _ = write!(out, "k {} ", comm.0);
+            write_collective(out, op);
+        }
+        Op::Mark { id } => {
+            let _ = write!(out, "m {id}");
+        }
+    }
+    out.push('\n');
+}
+
+/// Serialize a whole world of per-rank traces.
+pub fn write_traces(traces: &[Vec<Op>]) -> String {
+    let total: usize = traces.iter().map(Vec::len).sum();
+    // ~16 bytes per op plus headers is a comfortable overestimate
+    let mut out = String::with_capacity(32 * total + 16 * traces.len() + 32);
+    let _ = writeln!(out, "{TRACE_MAGIC} {}", traces.len());
+    for (i, trace) in traces.iter().enumerate() {
+        let _ = writeln!(out, "rank {i} {}", trace.len());
+        for op in trace {
+            write_op(&mut out, op);
+        }
+    }
+    out
+}
+
+/// One-line parse diagnostic: what was malformed and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_u64(line: usize, tok: Option<&str>, what: &str) -> Result<u64, ParseError> {
+    let t = tok.ok_or(ParseError { line, message: format!("missing {what}") })?;
+    t.parse::<u64>().map_err(|_| ParseError { line, message: format!("bad {what} {t:?}") })
+}
+
+fn parse_f64(line: usize, tok: Option<&str>, what: &str) -> Result<f64, ParseError> {
+    let t = tok.ok_or(ParseError { line, message: format!("missing {what}") })?;
+    let hex = t
+        .strip_prefix("0x")
+        .ok_or(ParseError { line, message: format!("{what} must be 0x-prefixed bits, got {t:?}") })?;
+    let bits = u64::from_str_radix(hex, 16)
+        .map_err(|_| ParseError { line, message: format!("bad {what} bits {t:?}") })?;
+    Ok(f64::from_bits(bits))
+}
+
+fn parse_dtype(line: usize, tok: Option<&str>) -> Result<DType, ParseError> {
+    match tok {
+        Some("f32") => Ok(DType::F32),
+        Some("f64") => Ok(DType::F64),
+        Some("int") => Ok(DType::Int),
+        other => err(line, format!("bad dtype {other:?}")),
+    }
+}
+
+fn parse_workload<'a>(
+    line: usize,
+    toks: &mut impl Iterator<Item = &'a str>,
+) -> Result<Workload, ParseError> {
+    let kind = toks.next().ok_or(ParseError { line, message: "missing workload".into() })?;
+    Ok(match kind {
+        "dgemm" => Workload::Dgemm { n: parse_u64(line, toks.next(), "n")? },
+        "lu" => Workload::LuUpdate {
+            m: parse_u64(line, toks.next(), "m")?,
+            n: parse_u64(line, toks.next(), "n")?,
+            k: parse_u64(line, toks.next(), "k")?,
+        },
+        "scopy" => Workload::StreamCopy { n: parse_u64(line, toks.next(), "n")? },
+        "sscale" => Workload::StreamScale { n: parse_u64(line, toks.next(), "n")? },
+        "sadd" => Workload::StreamAdd { n: parse_u64(line, toks.next(), "n")? },
+        "striad" => Workload::StreamTriad { n: parse_u64(line, toks.next(), "n")? },
+        "fft" => Workload::Fft1d { n: parse_u64(line, toks.next(), "n")? },
+        "ra" => Workload::RandomAccess {
+            updates: parse_u64(line, toks.next(), "updates")?,
+            table_bytes: parse_u64(line, toks.next(), "table_bytes")?,
+        },
+        "stencil" => Workload::Stencil {
+            points: parse_u64(line, toks.next(), "points")?,
+            flops_per_point: parse_f64(line, toks.next(), "flops_per_point")?,
+            bytes_per_point: parse_f64(line, toks.next(), "bytes_per_point")?,
+        },
+        "chem" => Workload::Chemistry {
+            points: parse_u64(line, toks.next(), "points")?,
+            flops_per_point: parse_f64(line, toks.next(), "flops_per_point")?,
+        },
+        "mdforce" => Workload::MdForce {
+            pairs: parse_u64(line, toks.next(), "pairs")?,
+            flops_per_pair: parse_f64(line, toks.next(), "flops_per_pair")?,
+        },
+        "custom" => Workload::Custom {
+            flops: parse_f64(line, toks.next(), "flops")?,
+            dram_bytes: parse_f64(line, toks.next(), "dram_bytes")?,
+            simd_eff: parse_f64(line, toks.next(), "simd_eff")?,
+            serial_frac: parse_f64(line, toks.next(), "serial_frac")?,
+        },
+        other => return err(line, format!("unknown workload {other:?}")),
+    })
+}
+
+fn parse_collective<'a>(
+    line: usize,
+    toks: &mut impl Iterator<Item = &'a str>,
+) -> Result<CollectiveOp, ParseError> {
+    let kind = toks.next().ok_or(ParseError { line, message: "missing collective".into() })?;
+    Ok(match kind {
+        "barrier" => CollectiveOp::Barrier,
+        "bcast" => CollectiveOp::Bcast { bytes: parse_u64(line, toks.next(), "bytes")? },
+        "reduce" => CollectiveOp::Reduce {
+            bytes: parse_u64(line, toks.next(), "bytes")?,
+            dtype: parse_dtype(line, toks.next())?,
+        },
+        "allreduce" => CollectiveOp::Allreduce {
+            bytes: parse_u64(line, toks.next(), "bytes")?,
+            dtype: parse_dtype(line, toks.next())?,
+        },
+        "allgather" => {
+            CollectiveOp::Allgather { bytes_per_rank: parse_u64(line, toks.next(), "bytes")? }
+        }
+        "alltoall" => {
+            CollectiveOp::Alltoall { bytes_per_pair: parse_u64(line, toks.next(), "bytes")? }
+        }
+        other => return err(line, format!("unknown collective {other:?}")),
+    })
+}
+
+fn parse_op(line: usize, text: &str) -> Result<Op, ParseError> {
+    let mut toks = text.split_ascii_whitespace();
+    let tag = toks.next().ok_or(ParseError { line, message: "empty op line".into() })?;
+    let op = match tag {
+        "c" => {
+            let work = parse_workload(line, &mut toks)?;
+            let threads = parse_u64(line, toks.next(), "threads")? as u32;
+            Op::Compute { work, threads }
+        }
+        "d" => Op::Delay { time: SimTime(parse_u64(line, toks.next(), "picos")?) },
+        "s" => Op::Isend {
+            dst: parse_u64(line, toks.next(), "dst")? as usize,
+            tag: parse_u64(line, toks.next(), "tag")? as u32,
+            bytes: parse_u64(line, toks.next(), "bytes")?,
+            req: Req(parse_u64(line, toks.next(), "req")? as u32),
+        },
+        "r" => Op::Irecv {
+            src: parse_u64(line, toks.next(), "src")? as usize,
+            tag: parse_u64(line, toks.next(), "tag")? as u32,
+            bytes: parse_u64(line, toks.next(), "bytes")?,
+            req: Req(parse_u64(line, toks.next(), "req")? as u32),
+        },
+        "w" => Op::Wait { req: Req(parse_u64(line, toks.next(), "req")? as u32) },
+        "k" => {
+            let comm = CommId(parse_u64(line, toks.next(), "comm")? as u32);
+            Op::Collective { comm, op: parse_collective(line, &mut toks)? }
+        }
+        "m" => Op::Mark { id: parse_u64(line, toks.next(), "id")? as u32 },
+        other => return err(line, format!("unknown op tag {other:?}")),
+    };
+    if let Some(extra) = toks.next() {
+        return err(line, format!("trailing token {extra:?}"));
+    }
+    Ok(op)
+}
+
+/// Parse a serialized world of traces back into per-rank op vectors.
+/// Replaying the parsed traces is bit-identical to replaying the
+/// originals ([`write_traces`] round-trips exactly).
+pub fn parse_traces(text: &str) -> Result<Vec<Vec<Op>>, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (line, header) =
+        lines.next().ok_or(ParseError { line: 1, message: "empty trace".into() })?;
+    let mut toks = header.split_ascii_whitespace();
+    match toks.next() {
+        Some(TRACE_MAGIC) => {}
+        other => return err(line, format!("bad magic {other:?}")),
+    }
+    let ranks = parse_u64(line, toks.next(), "rank count")? as usize;
+    let mut traces = Vec::with_capacity(ranks);
+    for want in 0..ranks {
+        let (line, header) = lines
+            .next()
+            .ok_or(ParseError { line: 0, message: format!("missing rank {want} header") })?;
+        let mut toks = header.split_ascii_whitespace();
+        if toks.next() != Some("rank") {
+            return err(line, format!("expected rank header, got {header:?}"));
+        }
+        let idx = parse_u64(line, toks.next(), "rank index")? as usize;
+        if idx != want {
+            return err(line, format!("rank {idx} out of order (expected {want})"));
+        }
+        let nops = parse_u64(line, toks.next(), "op count")? as usize;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            let (line, text) = lines
+                .next()
+                .ok_or(ParseError { line: 0, message: format!("rank {idx}: truncated ops") })?;
+            ops.push(parse_op(line, text)?);
+        }
+        traces.push(ops);
+    }
+    if let Some((line, extra)) = lines.next() {
+        if !extra.trim().is_empty() {
+            return err(line, format!("trailing content {extra:?}"));
+        }
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traces() -> Vec<Vec<Op>> {
+        vec![
+            vec![
+                Op::Compute { work: Workload::Dgemm { n: 2000 }, threads: 1 },
+                Op::Compute {
+                    work: Workload::Stencil {
+                        points: 99,
+                        flops_per_point: 51.25,
+                        bytes_per_point: 0.1, // not exactly representable: bit-exactness matters
+                    },
+                    threads: 4,
+                },
+                Op::Isend { dst: 1, tag: 7, bytes: 4096, req: Req(0) },
+                Op::Wait { req: Req(0) },
+                Op::Collective {
+                    comm: CommId::WORLD,
+                    op: CollectiveOp::Allreduce { bytes: 512, dtype: DType::F64 },
+                },
+                Op::Mark { id: 3 },
+            ],
+            vec![
+                Op::Irecv { src: 0, tag: 7, bytes: 4096, req: Req(0) },
+                Op::Wait { req: Req(0) },
+                Op::Delay { time: SimTime(123_456_789) },
+                Op::Collective {
+                    comm: CommId::WORLD,
+                    op: CollectiveOp::Allreduce { bytes: 512, dtype: DType::F64 },
+                },
+                Op::Compute {
+                    work: Workload::Custom {
+                        flops: 1e9,
+                        dram_bytes: 0.3,
+                        simd_eff: 0.9,
+                        serial_frac: 0.01,
+                    },
+                    threads: 2,
+                },
+            ],
+        ]
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let traces = sample_traces();
+        let text = write_traces(&traces);
+        let parsed = parse_traces(&text).expect("round trip");
+        assert_eq!(parsed, traces);
+        // serialization of the parse equals the original text, too
+        assert_eq!(write_traces(&parsed), text);
+    }
+
+    #[test]
+    fn every_collective_and_workload_round_trips() {
+        let ops: Vec<Op> = [
+            CollectiveOp::Barrier,
+            CollectiveOp::Bcast { bytes: 1 },
+            CollectiveOp::Reduce { bytes: 8, dtype: DType::Int },
+            CollectiveOp::Allreduce { bytes: 64, dtype: DType::F32 },
+            CollectiveOp::Allgather { bytes_per_rank: 32 },
+            CollectiveOp::Alltoall { bytes_per_pair: 16 },
+        ]
+        .into_iter()
+        .map(|op| Op::Collective { comm: CommId(5), op })
+        .chain(
+            [
+                Workload::LuUpdate { m: 1, n: 2, k: 3 },
+                Workload::StreamCopy { n: 4 },
+                Workload::StreamScale { n: 5 },
+                Workload::StreamAdd { n: 6 },
+                Workload::StreamTriad { n: 7 },
+                Workload::Fft1d { n: 8 },
+                Workload::RandomAccess { updates: 9, table_bytes: 10 },
+                Workload::Chemistry { points: 11, flops_per_point: 2.5 },
+                Workload::MdForce { pairs: 12, flops_per_pair: 220.0 },
+            ]
+            .into_iter()
+            .map(|work| Op::Compute { work, threads: 3 }),
+        )
+        .collect();
+        let traces = vec![ops];
+        assert_eq!(parse_traces(&write_traces(&traces)).unwrap(), traces);
+    }
+
+    #[test]
+    fn malformed_input_is_diagnosed_with_line_numbers() {
+        assert!(parse_traces("").is_err());
+        assert!(parse_traces("wrong/1 1\n").is_err());
+        let e = parse_traces("hpcsim-trace/1 1\nrank 0 1\nz 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("unknown op tag"), "{e}");
+        // truncated op list
+        assert!(parse_traces("hpcsim-trace/1 1\nrank 0 2\nm 1\n").is_err());
+        // out-of-order rank header
+        assert!(parse_traces("hpcsim-trace/1 2\nrank 1 0\nrank 0 0\n").is_err());
+        // float fields must be exact bit patterns, not decimals
+        let e = parse_traces("hpcsim-trace/1 1\nrank 0 1\nc chem 1 2.5 1\n").unwrap_err();
+        assert!(e.to_string().contains("0x-prefixed"), "{e}");
+    }
+
+    #[test]
+    fn real_halo_sized_trace_round_trips() {
+        // a trace with the real recorder's shape: interleaved sends,
+        // receives and waits across many ranks
+        let mut traces = Vec::new();
+        for r in 0..16usize {
+            let mut ops = Vec::new();
+            for round in 0..3u32 {
+                ops.push(Op::Irecv { src: (r + 1) % 16, tag: round, bytes: 64, req: Req(round) });
+                ops.push(Op::Isend { dst: (r + 15) % 16, tag: round, bytes: 64, req: Req(round + 8) });
+                ops.push(Op::Wait { req: Req(round) });
+                ops.push(Op::Wait { req: Req(round + 8) });
+            }
+            traces.push(ops);
+        }
+        assert_eq!(parse_traces(&write_traces(&traces)).unwrap(), traces);
+    }
+}

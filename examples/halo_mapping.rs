@@ -5,11 +5,17 @@
 //! large halo size. The mapping is irrelevant while exchanges are
 //! latency-dominated, and worth real money once they are bandwidth-bound.
 //!
+//! Every (mapping, size) point is a [`ScenarioSpec`] evaluated through
+//! the scenario cache: the sixteen queries share just two recorded
+//! traces (the exchange pattern depends on the grid and halo size, not
+//! the mapping), and asking any of them again is a tier-1 lookup.
+//!
 //! ```text
 //! cargo run --release --example halo_mapping
 //! ```
 
-use bgp_eval::hpcc::{halo_run, HaloConfig, HaloProtocol};
+use bgp_eval::cache::{evaluate, ScenarioSpec};
+use bgp_eval::hpcc::{HaloConfig, HaloProtocol};
 use bgp_eval::machine::registry::bluegene_p;
 use bgp_eval::machine::ExecMode;
 use bgp_eval::topo::{Grid2D, Mapping};
@@ -28,7 +34,8 @@ fn main() {
     for (name, mapping) in Mapping::fig2_set() {
         let run = |words: u64| {
             let cfg = HaloConfig { grid, words, protocol: HaloProtocol::IrecvIsend, reps: 2 };
-            halo_run(&machine, ExecMode::Vn, mapping, &cfg) * 1e6
+            let spec = ScenarioSpec::halo(&machine, ExecMode::Vn, mapping, cfg);
+            evaluate(&spec).expect("pristine halo scenarios evaluate")[0] * 1e6
         };
         results.push((name, run(8), run(32_768)));
     }
@@ -45,6 +52,11 @@ fn main() {
         "\nworst/best ratio: {:.2}x at 8 words, {:.2}x at 32768 words",
         spread(&|r| r.1),
         spread(&|r| r.2)
+    );
+    let s = bgp_eval::cache::global().stats();
+    println!(
+        "scenario cache: {} evaluations from {} trace recordings ({} trace hits)",
+        s.result_misses, s.trace_misses, s.trace_hits
     );
     println!(
         "-> \"optimizing with respect to process/processor mapping is likely \

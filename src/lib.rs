@@ -31,6 +31,9 @@
 
 /// Application proxies: POP, CAM, S3D, GYRO, MD (Figures 4–8).
 pub use hpcsim_apps as apps;
+/// Content-addressed scenario cache: canonical specs, two-tier
+/// memoization, the `evaluate` front door.
+pub use hpcsim_cache as cache;
 /// Evaluation framework: experiments, runner, reports.
 pub use hpcsim_core as core;
 /// Discrete-event simulation primitives.
