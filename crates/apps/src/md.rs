@@ -131,6 +131,9 @@ pub fn md_run_machines_traces(
     let dag = if engine == SweepEngine::Dag && machines.iter().any(TraceDag::exact_for) {
         Some(TraceDag::compile_world(traces))
     } else {
+        if engine == SweepEngine::Dag {
+            hpcsim_mpi::note_fallback_contention(machines.len() as u64);
+        }
         None
     };
     machines
@@ -153,7 +156,13 @@ pub fn md_eval_traces(
     let sim_cfg = SimConfig::new(machine.clone(), ranks, ExecMode::Vn);
     let res = match dag {
         Some(dag) if TraceDag::exact_for(machine) => dag.evaluate(&sim_cfg),
-        _ => TraceSim::new(sim_cfg).replay_traces(traces),
+        _ => {
+            if dag.is_some() {
+                // a DAG was offered but is inexact on this machine
+                hpcsim_mpi::note_fallback_contention(1);
+            }
+            TraceSim::new(sim_cfg).replay_traces(traces)
+        }
     };
     let seconds_per_step = res.makespan().as_secs() / cfg.steps as f64;
     // 1 fs per step -> ns/day = 86400 / (s/step) * 1e-6

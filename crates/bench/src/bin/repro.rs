@@ -18,6 +18,11 @@
 //! repro fig2 --cache-dir .cache  # disk-backed scenario cache: a second
 //!                           # run starts warm (same output, less time)
 //! repro fig2 --no-cache     # disable scenario memoization entirely
+//! repro fig2 --obs-out m.prom    # harness metrics: Prometheus text to
+//!                           # m.prom, run_report.json next to the CSVs,
+//!                           # summary table on stderr
+//! repro fig2 --no-obs       # keep the metrics registry disabled
+//! repro fig2 --log-level quiet   # errors only (also: info, debug)
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -26,17 +31,22 @@
 //! available core); results are assembled in a fixed order, so the
 //! artifacts are byte-identical regardless of the worker count.
 
-use hpcsim_bench::{bench_json_report, CacheReport, PhaseTiming, RunFlags, SweepReport};
-use hpcsim_core::{run_experiment, set_jobs, set_sweep_engine, ExperimentId, Scale, SweepEngine};
+use hpcsim_bench::{bench_json_report, CacheReport, ObsReport, PhaseTiming, RunFlags, SweepReport};
+use hpcsim_core::{
+    log_error, log_warn, run_experiment, set_jobs, set_log_level, set_sweep_engine, ExperimentId,
+    LogLevel, Scale, SweepEngine,
+};
 use hpcsim_faults::{FaultPlan, FaultProfile};
+use hpcsim_obs as obs;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!(
+    log_error!(
         "usage: repro [--paper] [--out DIR] [--jobs N] [--bench-json] [--bench-timestamp TS] \
          [--sweep-engine replay|dag] [--cache-dir DIR | --no-cache] \
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
          [--faults SEED] [--fault-profile link|noise|loss|mixed] \
+         [--obs-out FILE | --no-obs] [--log-level quiet|info|debug] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
@@ -54,7 +64,7 @@ fn ensure_writable(path: &std::path::Path) {
         std::fs::OpenOptions::new().write(true).create(true).truncate(false).open(path).map(|_| ())
     };
     if let Err(e) = attempt() {
-        eprintln!("repro: {}: not writable: {e}", path.display());
+        log_error!("repro: {}: not writable: {e}", path.display());
         std::process::exit(2);
     }
 }
@@ -70,7 +80,7 @@ fn ensure_cache_dir(dir: &std::path::Path) {
         std::fs::remove_file(&probe)
     };
     if let Err(e) = attempt() {
-        eprintln!("repro: {}: not writable: {e}", dir.display());
+        log_error!("repro: {}: not writable: {e}", dir.display());
         std::process::exit(2);
     }
 }
@@ -80,10 +90,18 @@ fn main() {
     let flags = match RunFlags::parse(&raw) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("repro: {e}");
+            log_error!("repro: {e}");
             usage();
         }
     };
+    if let Some(level) = &flags.log_level {
+        set_log_level(LogLevel::parse(level).expect("RunFlags::parse validated the level"));
+    }
+    // The registry is on by default: ~one relaxed atomic load per
+    // counter site, bounded by the <2% guard in obs_overhead.rs.
+    if !flags.no_obs {
+        obs::set_enabled(true);
+    }
     if flags.positional.is_empty() {
         usage();
     }
@@ -99,6 +117,10 @@ fn main() {
     if flags.trace {
         ensure_writable(&flags.trace_path());
         ensure_writable(&flags.metrics_path());
+    }
+    if let Some(path) = &flags.obs_out {
+        ensure_writable(path);
+        ensure_writable(&flags.run_report_path());
     }
     let mut cache_cfg = hpcsim_cache::CacheConfig::default();
     if flags.no_cache {
@@ -120,7 +142,7 @@ fn main() {
             .filter(|p| p.as_str() != "ablations")
             .map(|p| {
                 ExperimentId::from_slug(p).unwrap_or_else(|| {
-                    eprintln!("repro: unknown experiment {p:?}");
+                    log_error!("repro: unknown experiment {p:?}");
                     usage()
                 })
             })
@@ -144,7 +166,7 @@ fn main() {
             Ok(paths) => {
                 println!("# {}: {} artifact file(s) in {seconds:.1}s\n", id.slug(), paths.len());
             }
-            Err(e) => eprintln!("# {}: CSV write failed: {e}", id.slug()),
+            Err(e) => log_warn!("# {}: CSV write failed: {e}", id.slug()),
         }
         timings.push(PhaseTiming { name: id.slug().to_string(), seconds });
     }
@@ -248,6 +270,7 @@ fn main() {
             cache.speedup(),
             cache.bitwise_identical
         );
+        let obs_report = (!flags.no_obs).then(|| ObsReport::from_snapshot(&obs::snapshot()));
         let report = bench_json_report(
             scale_name,
             hpcsim_core::jobs(),
@@ -256,11 +279,28 @@ fn main() {
             flags.bench_timestamp.as_deref(),
             Some(&sweep),
             Some(&cache),
+            obs_report.as_ref(),
         );
         match std::fs::write(path, report) {
             Ok(()) => println!("# wall-clock report: {}", path.display()),
-            Err(e) => eprintln!("# bench-json write failed: {e}"),
+            Err(e) => log_warn!("# bench-json write failed: {e}"),
         }
+    }
+    if let Some(prom_path) = &flags.obs_out {
+        // Snapshot last so the export covers everything the process did,
+        // including the bench batteries above.
+        let snap = obs::snapshot();
+        match std::fs::write(prom_path, obs::prometheus_text(&snap)) {
+            Ok(()) => println!("# obs: Prometheus metrics: {}", prom_path.display()),
+            Err(e) => log_warn!("# obs: Prometheus write failed: {e}"),
+        }
+        let report_path = flags.run_report_path();
+        let _ = std::fs::create_dir_all(&flags.out);
+        match std::fs::write(&report_path, obs::run_report_json(&snap)) {
+            Ok(()) => println!("# obs: run report: {}", report_path.display()),
+            Err(e) => log_warn!("# obs: run report write failed: {e}"),
+        }
+        eprint!("{}", obs::summary_table(&snap));
     }
     if !battery_ok {
         std::process::exit(1);
@@ -296,10 +336,10 @@ fn run_resilience(flags: &RunFlags, scale: Scale) -> bool {
     let path = flags.out.join("resilience.csv");
     match std::fs::write(&path, report.table.to_csv()) {
         Ok(()) => println!("# resilience: summary CSV: {}", path.display()),
-        Err(e) => eprintln!("# resilience: CSV write failed: {e}"),
+        Err(e) => log_warn!("# resilience: CSV write failed: {e}"),
     }
     for e in &report.errors {
-        eprintln!("# resilience: scenario {} ({}) failed: {}", e.index, e.label, e.message);
+        log_error!("# resilience: scenario {} ({}) failed: {}", e.index, e.label, e.message);
     }
     report.all_ok()
 }
@@ -336,7 +376,7 @@ fn run_traced_battery(flags: &RunFlags, scale: Scale) {
         let _ = std::fs::create_dir_all(&flags.out);
         let path = flags.out.join(format!("{}_breakdown.csv", report.id.slug()));
         if let Err(e) = std::fs::write(&path, table.to_csv()) {
-            eprintln!("# trace: breakdown CSV write failed: {e}");
+            log_warn!("# trace: breakdown CSV write failed: {e}");
         }
     }
 
@@ -350,12 +390,12 @@ fn run_traced_battery(flags: &RunFlags, scale: Scale) {
 
     let trace = hpcsim_core::chrome_json(&reports);
     if let Err(e) = hpcsim_probe::validate_trace(&trace) {
-        eprintln!("# trace: generated Chrome trace failed validation: {e}");
+        log_error!("# trace: generated Chrome trace failed validation: {e}");
         std::process::exit(1);
     }
     match std::fs::write(&trace_path, &trace) {
         Ok(()) => println!("# trace: Chrome trace (Perfetto-loadable): {}", trace_path.display()),
-        Err(e) => eprintln!("# trace: write failed: {e}"),
+        Err(e) => log_warn!("# trace: write failed: {e}"),
     }
     let spans_path = flags.out.join("trace_spans.csv");
     let _ = std::fs::write(&spans_path, hpcsim_core::spans_csv(&reports));
@@ -363,6 +403,6 @@ fn run_traced_battery(flags: &RunFlags, scale: Scale) {
 
     match std::fs::write(&metrics_path, hpcsim_core::metrics_json(&reports)) {
         Ok(()) => println!("# trace: metrics report: {}", metrics_path.display()),
-        Err(e) => eprintln!("# trace: metrics write failed: {e}"),
+        Err(e) => log_warn!("# trace: metrics write failed: {e}"),
     }
 }

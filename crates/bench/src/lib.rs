@@ -65,12 +65,26 @@ pub struct RunFlags {
     /// `--no-cache`: disable scenario memoization entirely (every
     /// query computes directly). Output is byte-identical either way.
     pub no_cache: bool,
+    /// `--obs-out FILE`: write Prometheus text exposition to FILE and
+    /// the structured `run_report.json` next to the artifacts; also
+    /// renders the stderr summary table. Conflicts with `--no-obs`.
+    pub obs_out: Option<PathBuf>,
+    /// `--no-obs`: leave the harness metrics registry disabled (the
+    /// default state is enabled-but-unexported). Output is
+    /// byte-identical either way.
+    pub no_obs: bool,
+    /// `--log-level LEVEL`: stderr verbosity (default `info`). Must be
+    /// one of [`LOG_LEVELS`].
+    pub log_level: Option<String>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
 
 /// Sweep engines the CLI accepts.
 pub const SWEEP_ENGINES: [&str; 2] = ["replay", "dag"];
+
+/// Log levels the CLI accepts.
+pub const LOG_LEVELS: [&str; 3] = ["quiet", "info", "debug"];
 
 /// Fault profiles the CLI accepts. `selftest-panic` is the battery
 /// harness's self-test: it arms a `mixed` plan and additionally injects
@@ -102,6 +116,9 @@ impl RunFlags {
             sweep_engine: None,
             cache_dir: None,
             no_cache: false,
+            obs_out: None,
+            no_obs: false,
+            log_level: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -160,6 +177,20 @@ impl RunFlags {
                     flags.cache_dir = Some(PathBuf::from(take_value(args, &mut i, "--cache-dir")?));
                 }
                 "--no-cache" => flags.no_cache = true,
+                "--obs-out" => {
+                    flags.obs_out = Some(PathBuf::from(take_value(args, &mut i, "--obs-out")?));
+                }
+                "--no-obs" => flags.no_obs = true,
+                "--log-level" => {
+                    let v = take_value(args, &mut i, "--log-level")?;
+                    if !LOG_LEVELS.contains(&v.as_str()) {
+                        return Err(format!(
+                            "--log-level: unknown level {v:?} (expected one of {})",
+                            LOG_LEVELS.join("|")
+                        ));
+                    }
+                    flags.log_level = Some(v);
+                }
                 other if other.starts_with('-') => {
                     return Err(format!("unknown flag {other:?}"));
                 }
@@ -172,6 +203,9 @@ impl RunFlags {
         }
         if flags.cache_dir.is_some() && flags.no_cache {
             return Err("--cache-dir conflicts with --no-cache".to_string());
+        }
+        if flags.obs_out.is_some() && flags.no_obs {
+            return Err("--obs-out conflicts with --no-obs".to_string());
         }
         Ok(flags)
     }
@@ -186,6 +220,14 @@ impl RunFlags {
     /// `OUT/metrics.json`.
     pub fn metrics_path(&self) -> PathBuf {
         self.metrics_out.clone().unwrap_or_else(|| self.out.join("metrics.json"))
+    }
+
+    /// Where the structured run report goes when `--obs-out` is given:
+    /// `OUT/run_report.json`. Written only alongside an explicit
+    /// Prometheus export, so default artifact directories stay
+    /// byte-identical across runs (the cache CLI tests diff them).
+    pub fn run_report_path(&self) -> PathBuf {
+        self.out.join("run_report.json")
     }
 }
 
@@ -266,9 +308,62 @@ impl CacheReport {
     }
 }
 
+/// The `obs` entry of the schema-v5 report: harness-level counters
+/// lifted from the `hpcsim-obs` registry at the end of the run, so
+/// future PRs can regress on cache hit rate and engine fallback counts,
+/// not just wall-clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsReport {
+    /// Scenario evaluations executed by the runner.
+    pub scenarios: u64,
+    /// Scenario evaluations isolated after panicking.
+    pub scenario_panics: u64,
+    /// Tier-1 cache lookups issued.
+    pub cache_result_lookups: u64,
+    /// Tier-1 lookups served from memory or disk.
+    pub cache_result_hits: u64,
+    /// Tier-1 lookups that evaluated.
+    pub cache_result_misses: u64,
+    /// Lookups coalesced onto an in-flight identical evaluation.
+    pub cache_coalesced: u64,
+    /// Disk-layer failures absorbed (reads, writes, corrupt entries).
+    pub cache_disk_errors: u64,
+    /// Sweep points evaluated by the DAG engine.
+    pub dag_points: u64,
+    /// Event-queue replays executed.
+    pub replay_runs: u64,
+    /// DAG-selected points sent to replay over contention exactness.
+    pub fallback_contention: u64,
+    /// DAG-selected points sent to replay over an armed fault plan.
+    pub fallback_faults: u64,
+}
+
+impl ObsReport {
+    /// Lift the counters from a registry snapshot.
+    pub fn from_snapshot(snap: &hpcsim_obs::Snapshot) -> ObsReport {
+        let get = |name: &str| {
+            snap.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+        };
+        ObsReport {
+            scenarios: get("hpcsim_scenarios_total"),
+            scenario_panics: get("hpcsim_scenario_panics_total"),
+            cache_result_lookups: get("hpcsim_cache_result_lookups_total"),
+            cache_result_hits: get("hpcsim_cache_result_hits_total"),
+            cache_result_misses: get("hpcsim_cache_result_misses_total"),
+            cache_coalesced: get("hpcsim_cache_coalesced_total"),
+            cache_disk_errors: get("hpcsim_cache_disk_errors_total"),
+            dag_points: get("hpcsim_dag_points_total"),
+            replay_runs: get("hpcsim_replay_runs_total"),
+            fallback_contention: get("hpcsim_sweep_fallback_contention_total"),
+            fallback_faults: get("hpcsim_sweep_fallback_faults_total"),
+        }
+    }
+}
+
 /// Render the `--bench-json` report. Hand-rolled so the harness stays
 /// dependency-free; the schema is flat enough that escaping never
 /// matters (names are slugs, numbers are finite).
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json_report(
     scale: &str,
     jobs: usize,
@@ -277,11 +372,12 @@ pub fn bench_json_report(
     generated_at: Option<&str>,
     sweep: Option<&SweepReport>,
     cache: Option<&CacheReport>,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpcsim-bench-repro/4\",\n");
-    s.push_str("  \"schema_version\": 4,\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/5\",\n");
+    s.push_str("  \"schema_version\": 5,\n");
     match generated_at {
         // the stamp is injected by the harness (`--bench-timestamp`);
         // without one the report stays byte-reproducible
@@ -329,6 +425,24 @@ pub fn bench_json_report(
             s.push_str("  },\n");
         }
         None => s.push_str("  \"scenario_cache\": null,\n"),
+    }
+    match obs {
+        Some(o) => {
+            s.push_str("  \"obs\": {\n");
+            s.push_str(&format!("    \"scenarios\": {},\n", o.scenarios));
+            s.push_str(&format!("    \"scenario_panics\": {},\n", o.scenario_panics));
+            s.push_str(&format!("    \"cache_result_lookups\": {},\n", o.cache_result_lookups));
+            s.push_str(&format!("    \"cache_result_hits\": {},\n", o.cache_result_hits));
+            s.push_str(&format!("    \"cache_result_misses\": {},\n", o.cache_result_misses));
+            s.push_str(&format!("    \"cache_coalesced\": {},\n", o.cache_coalesced));
+            s.push_str(&format!("    \"cache_disk_errors\": {},\n", o.cache_disk_errors));
+            s.push_str(&format!("    \"dag_points\": {},\n", o.dag_points));
+            s.push_str(&format!("    \"replay_runs\": {},\n", o.replay_runs));
+            s.push_str(&format!("    \"fallback_contention\": {},\n", o.fallback_contention));
+            s.push_str(&format!("    \"fallback_faults\": {}\n", o.fallback_faults));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"obs\": null,\n"),
     }
     s.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
     s.push_str("}\n");
@@ -431,14 +545,15 @@ mod tests {
             PhaseTiming { name: "table2".into(), seconds: 0.51 },
             PhaseTiming { name: "fig3".into(), seconds: 1.25 },
         ];
-        let s = bench_json_report("quick", 8, &phases, 1.76, None, None, None);
+        let s = bench_json_report("quick", 8, &phases, 1.76, None, None, None, None);
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
-        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/4\""));
-        assert!(s.contains("\"schema_version\": 4"));
+        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/5\""));
+        assert!(s.contains("\"schema_version\": 5"));
         assert!(s.contains("\"generated_at\": null"));
         assert!(s.contains("\"fig2_mapping_sweep\": null"));
         assert!(s.contains("\"scenario_cache\": null"));
+        assert!(s.contains("\"obs\": null"));
         assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
         assert!(s.contains("\"total_seconds\": 1.760"));
         // one comma between the two experiment entries, none after the last
@@ -448,7 +563,7 @@ mod tests {
 
     #[test]
     fn bench_json_records_harness_timestamp() {
-        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None, None);
+        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None, None, None);
         assert!(s.contains("\"generated_at\": \"2026-08-05T00:00:00Z\""));
     }
 
@@ -463,7 +578,7 @@ mod tests {
             engines_agree: true,
         };
         assert!(sweep.speedup() > 39.0 && sweep.speedup() < 41.0);
-        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep), None);
+        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep), None, None);
         assert!(s.contains("\"fig2_mapping_sweep\": {"));
         assert!(s.contains("\"points\": 32"));
         assert!(s.contains("\"replay_seconds\": 0.4800"));
@@ -487,7 +602,7 @@ mod tests {
             bitwise_identical: true,
         };
         assert!(cache.speedup() > 49.0 && cache.speedup() < 51.0);
-        let s = bench_json_report("quick", 1, &[], 0.7, None, None, Some(&cache));
+        let s = bench_json_report("quick", 1, &[], 0.7, None, None, Some(&cache), None);
         assert!(s.contains("\"scenario_cache\": {"));
         assert!(s.contains("\"queries\": 64"));
         assert!(s.contains("\"cold_seconds\": 0.6000"));
@@ -496,6 +611,101 @@ mod tests {
         assert!(s.contains("\"result_hits\": 96"));
         assert!(s.contains("\"trace_hits\": 28"));
         assert!(s.contains("\"bitwise_identical\": true"));
+    }
+
+    #[test]
+    fn bench_json_records_obs_entry() {
+        let obs = ObsReport {
+            scenarios: 120,
+            scenario_panics: 2,
+            cache_result_lookups: 96,
+            cache_result_hits: 64,
+            cache_result_misses: 32,
+            cache_coalesced: 4,
+            cache_disk_errors: 0,
+            dag_points: 48,
+            replay_runs: 30,
+            fallback_contention: 6,
+            fallback_faults: 1,
+        };
+        let s = bench_json_report("quick", 1, &[], 0.3, None, None, None, Some(&obs));
+        assert!(s.contains("\"obs\": {"));
+        assert!(s.contains("\"scenarios\": 120"));
+        assert!(s.contains("\"scenario_panics\": 2"));
+        assert!(s.contains("\"cache_result_lookups\": 96"));
+        assert!(s.contains("\"cache_coalesced\": 4"));
+        assert!(s.contains("\"dag_points\": 48"));
+        assert!(s.contains("\"fallback_faults\": 1\n"));
+    }
+
+    #[test]
+    fn obs_report_lifts_counters_from_snapshot() {
+        // from_snapshot keys on metric names; absent names read as zero
+        let snap = hpcsim_obs::Snapshot {
+            counters: vec![
+                hpcsim_obs::CounterSnap {
+                    name: "hpcsim_scenarios_total",
+                    help: "",
+                    class: hpcsim_obs::Class::Deterministic,
+                    value: 17,
+                },
+                hpcsim_obs::CounterSnap {
+                    name: "hpcsim_replay_runs_total",
+                    help: "",
+                    class: hpcsim_obs::Class::Volatile,
+                    value: 5,
+                },
+            ],
+            gauges: vec![],
+            hists: vec![],
+        };
+        let o = ObsReport::from_snapshot(&snap);
+        assert_eq!(o.scenarios, 17);
+        assert_eq!(o.replay_runs, 5);
+        assert_eq!(o.cache_result_lookups, 0, "missing counters default to zero");
+    }
+
+    #[test]
+    fn obs_flags_parse_and_validate() {
+        let args: Vec<String> =
+            ["--obs-out", "/tmp/m.prom", "fig2"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid obs flags");
+        assert_eq!(f.obs_out, Some(PathBuf::from("/tmp/m.prom")));
+        assert!(!f.no_obs);
+        assert_eq!(f.positional, vec!["fig2".to_string()]);
+
+        let args: Vec<String> = ["--no-obs"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid no-obs flag");
+        assert!(f.no_obs);
+        assert_eq!(f.obs_out, None);
+
+        // asking for an export while disabling collection is a contradiction
+        let args: Vec<String> =
+            ["--obs-out", "/tmp/m.prom", "--no-obs"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("conflicting obs flags");
+        assert!(err.contains("--obs-out") && err.contains("--no-obs"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+
+        // dangling value is diagnosed like every other flag
+        let args: Vec<String> = ["--obs-out"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).unwrap_err().contains("missing value"));
+    }
+
+    #[test]
+    fn log_level_flag_parses_and_validates() {
+        for level in LOG_LEVELS {
+            let args: Vec<String> =
+                ["--log-level", level].iter().map(|s| s.to_string()).collect();
+            let f = RunFlags::parse(&args).expect("valid log level");
+            assert_eq!(f.log_level.as_deref(), Some(level));
+        }
+        let args: Vec<String> =
+            ["--log-level", "chatty"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("unknown level");
+        assert!(err.contains("chatty") && err.contains("quiet|info|debug"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+        let args: Vec<String> = ["--log-level"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).unwrap_err().contains("missing value"));
     }
 
     #[test]

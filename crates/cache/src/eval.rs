@@ -65,6 +65,10 @@ fn cold_evaluate(cache: &ScenarioCache, spec: &ScenarioSpec) -> Result<Vec<f64>,
         ProgramSpec::Halo(cfg) => {
             let entry = cache.traces(spec.program_hash(), || hpcc::halo_traces(cfg));
             if let Some(f) = spec.faults {
+                if hpcsim_mpi::sweep_engine() == SweepEngine::Dag {
+                    // DAG never prices faults: this point replays
+                    hpcsim_mpi::note_fallback_faults(1);
+                }
                 let plan = FaultPlan::new(f.seed, f.profile);
                 let secs = hpcc::halo_eval_traces_faulty(
                     machine,
@@ -117,11 +121,13 @@ fn dag_if_selected(
     entry: &crate::store::TraceEntry,
     machine: &hpcsim_machine::MachineSpec,
 ) -> Option<Arc<TraceDag>> {
-    if hpcsim_mpi::sweep_engine() == SweepEngine::Dag && TraceDag::exact_for(machine) {
-        Some(Arc::clone(entry.dag()))
-    } else {
-        None
+    if hpcsim_mpi::sweep_engine() == SweepEngine::Dag {
+        if TraceDag::exact_for(machine) {
+            return Some(Arc::clone(entry.dag()));
+        }
+        hpcsim_mpi::note_fallback_contention(1);
     }
+    None
 }
 
 #[cfg(test)]

@@ -31,12 +31,113 @@
 
 use crate::spec::SpecHash;
 use hpcsim_mpi::{Op, TraceDag};
+use hpcsim_obs::{self as obs, log_warn_once};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, LazyLock, Mutex, OnceLock};
 
 const SHARDS: usize = 16;
+
+/// Process-global obs metrics the cache feeds alongside the
+/// per-instance [`CacheStats`] cells. Lookups *issued* are
+/// [`Deterministic`](obs::Class::Deterministic): the battery issues the
+/// same set of lookups regardless of worker count or cache temperature.
+/// How a lookup was satisfied (memory hit vs flight coalesce vs disk
+/// hit vs compute) genuinely depends on both, so those counters are
+/// [`Volatile`](obs::Class::Volatile).
+struct ObsMetrics {
+    result_lookups: &'static obs::Counter,
+    trace_lookups: &'static obs::Counter,
+    result_hits: &'static obs::Counter,
+    result_misses: &'static obs::Counter,
+    coalesced: &'static obs::Counter,
+    disk_result_hits: &'static obs::Counter,
+    trace_hits: &'static obs::Counter,
+    trace_misses: &'static obs::Counter,
+    disk_trace_hits: &'static obs::Counter,
+    evictions: &'static obs::Counter,
+    disk_read_bytes: &'static obs::Counter,
+    disk_write_bytes: &'static obs::Counter,
+    disk_errors: &'static obs::Counter,
+    compute_wall: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static ObsMetrics {
+    use obs::Class::{Deterministic, Volatile};
+    static M: LazyLock<ObsMetrics> = LazyLock::new(|| ObsMetrics {
+        result_lookups: obs::counter(
+            "hpcsim_cache_result_lookups_total",
+            "Tier-1 lookups issued",
+            Deterministic,
+        ),
+        trace_lookups: obs::counter(
+            "hpcsim_cache_trace_lookups_total",
+            "Tier-2 lookups issued (only on tier-1 misses, so temperature-dependent)",
+            Volatile,
+        ),
+        result_hits: obs::counter(
+            "hpcsim_cache_result_hits_total",
+            "Tier-1 lookups served from memory or disk",
+            Volatile,
+        ),
+        result_misses: obs::counter(
+            "hpcsim_cache_result_misses_total",
+            "Tier-1 lookups that evaluated",
+            Volatile,
+        ),
+        coalesced: obs::counter(
+            "hpcsim_cache_coalesced_total",
+            "Lookups coalesced onto a concurrent identical evaluation",
+            Volatile,
+        ),
+        disk_result_hits: obs::counter(
+            "hpcsim_cache_disk_result_hits_total",
+            "Tier-1 hits satisfied by the on-disk layer",
+            Volatile,
+        ),
+        trace_hits: obs::counter(
+            "hpcsim_cache_trace_hits_total",
+            "Tier-2 lookups served from memory or disk",
+            Volatile,
+        ),
+        trace_misses: obs::counter(
+            "hpcsim_cache_trace_misses_total",
+            "Tier-2 lookups that recorded a trace",
+            Volatile,
+        ),
+        disk_trace_hits: obs::counter(
+            "hpcsim_cache_disk_trace_hits_total",
+            "Tier-2 hits satisfied by the on-disk layer",
+            Volatile,
+        ),
+        evictions: obs::counter(
+            "hpcsim_cache_evictions_total",
+            "Entries dropped by the FIFO bound (both tiers)",
+            Volatile,
+        ),
+        disk_read_bytes: obs::counter(
+            "hpcsim_cache_disk_read_bytes_total",
+            "Bytes read from the on-disk layer",
+            Volatile,
+        ),
+        disk_write_bytes: obs::counter(
+            "hpcsim_cache_disk_write_bytes_total",
+            "Bytes written through to the on-disk layer",
+            Volatile,
+        ),
+        disk_errors: obs::counter(
+            "hpcsim_cache_disk_errors_total",
+            "Disk-layer read/write/parse failures absorbed (results recomputed)",
+            Volatile,
+        ),
+        compute_wall: obs::histogram(
+            "hpcsim_cache_compute_wall_ns",
+            "Host wall-clock per tier-1 leader evaluation",
+        ),
+    });
+    &M
+}
 
 /// Construction-time options for a [`ScenarioCache`].
 #[derive(Debug, Clone)]
@@ -79,16 +180,54 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-#[derive(Default)]
+/// One per-instance counter cell tied to its process-global obs twin:
+/// a bump feeds both the `ScenarioCache::stats` snapshot (this cache)
+/// and the run-wide registry (all caches in the process).
+struct Stat {
+    cell: AtomicU64,
+    obs: &'static obs::Counter,
+}
+
+impl Stat {
+    fn new(obs: &'static obs::Counter) -> Self {
+        Stat { cell: AtomicU64::new(0), obs }
+    }
+
+    fn bump(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+        self.obs.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
 struct StatCells {
-    result_hits: AtomicU64,
-    result_misses: AtomicU64,
-    coalesced: AtomicU64,
-    disk_result_hits: AtomicU64,
-    trace_hits: AtomicU64,
-    trace_misses: AtomicU64,
-    disk_trace_hits: AtomicU64,
-    evictions: AtomicU64,
+    result_hits: Stat,
+    result_misses: Stat,
+    coalesced: Stat,
+    disk_result_hits: Stat,
+    trace_hits: Stat,
+    trace_misses: Stat,
+    disk_trace_hits: Stat,
+    evictions: Stat,
+}
+
+impl StatCells {
+    fn new() -> Self {
+        let m = metrics();
+        StatCells {
+            result_hits: Stat::new(m.result_hits),
+            result_misses: Stat::new(m.result_misses),
+            coalesced: Stat::new(m.coalesced),
+            disk_result_hits: Stat::new(m.disk_result_hits),
+            trace_hits: Stat::new(m.trace_hits),
+            trace_misses: Stat::new(m.trace_misses),
+            disk_trace_hits: Stat::new(m.disk_trace_hits),
+            evictions: Stat::new(m.evictions),
+        }
+    }
 }
 
 /// A recorded trace world plus its lazily compiled DAG. Shared by every
@@ -183,11 +322,11 @@ impl<V: Clone> Tier<V> {
     fn get_or_compute(
         &self,
         hash: SpecHash,
-        hits: &AtomicU64,
-        misses: &AtomicU64,
-        coalesced: &AtomicU64,
-        disk_hits: &AtomicU64,
-        evictions: &AtomicU64,
+        hits: &Stat,
+        misses: &Stat,
+        coalesced: &Stat,
+        disk_hits: &Stat,
+        evictions: &Stat,
         disk_load: impl FnOnce() -> Option<V>,
         disk_store: impl FnOnce(&V),
         compute: impl FnOnce() -> Result<V, String>,
@@ -197,13 +336,13 @@ impl<V: Clone> Tier<V> {
             let mut shard = self.shard(hash).lock().unwrap();
             match shard.map.get(&hash.0) {
                 Some(Slot::Ready(v)) => {
-                    hits.fetch_add(1, Ordering::Relaxed);
+                    hits.bump();
                     return Ok(v.clone());
                 }
                 Some(Slot::InFlight(f)) => {
                     let f = Arc::clone(f);
                     drop(shard);
-                    coalesced.fetch_add(1, Ordering::Relaxed);
+                    coalesced.bump();
                     return f.wait().map_err(|e| format!("coalesced onto failed evaluation: {e}"));
                 }
                 None => {
@@ -237,10 +376,10 @@ impl<V: Clone> Tier<V> {
         match outcome {
             Ok((v, from_disk)) => {
                 if from_disk {
-                    hits.fetch_add(1, Ordering::Relaxed);
-                    disk_hits.fetch_add(1, Ordering::Relaxed);
+                    hits.bump();
+                    disk_hits.bump();
                 } else {
-                    misses.fetch_add(1, Ordering::Relaxed);
+                    misses.bump();
                     disk_store(&v);
                 }
                 flight.publish(Ok(v.clone()));
@@ -251,14 +390,14 @@ impl<V: Clone> Tier<V> {
                     if let Some(old) = shard.fifo.pop_front() {
                         if matches!(shard.map.get(&old), Some(Slot::Ready(_))) {
                             shard.map.remove(&old);
-                            evictions.fetch_add(1, Ordering::Relaxed);
+                            evictions.bump();
                         }
                     }
                 }
                 Ok(v)
             }
             Err(e) => {
-                misses.fetch_add(1, Ordering::Relaxed);
+                misses.bump();
                 flight.publish(Err(e.clone()));
                 self.shard(hash).lock().unwrap().map.remove(&hash.0);
                 Err(e)
@@ -293,7 +432,7 @@ impl ScenarioCache {
             results: Tier::new(cfg.result_cap),
             traces: Tier::new(cfg.trace_cap),
             cfg,
-            stats: StatCells::default(),
+            stats: StatCells::new(),
         }
     }
 
@@ -311,14 +450,14 @@ impl ScenarioCache {
     pub fn stats(&self) -> CacheStats {
         let s = &self.stats;
         CacheStats {
-            result_hits: s.result_hits.load(Ordering::Relaxed),
-            result_misses: s.result_misses.load(Ordering::Relaxed),
-            coalesced: s.coalesced.load(Ordering::Relaxed),
-            disk_result_hits: s.disk_result_hits.load(Ordering::Relaxed),
-            trace_hits: s.trace_hits.load(Ordering::Relaxed),
-            trace_misses: s.trace_misses.load(Ordering::Relaxed),
-            disk_trace_hits: s.disk_trace_hits.load(Ordering::Relaxed),
-            evictions: s.evictions.load(Ordering::Relaxed),
+            result_hits: s.result_hits.get(),
+            result_misses: s.result_misses.get(),
+            coalesced: s.coalesced.get(),
+            disk_result_hits: s.disk_result_hits.get(),
+            trace_hits: s.trace_hits.get(),
+            trace_misses: s.trace_misses.get(),
+            disk_trace_hits: s.disk_trace_hits.get(),
+            evictions: s.evictions.get(),
         }
     }
 
@@ -330,8 +469,20 @@ impl ScenarioCache {
         hash: SpecHash,
         compute: impl FnOnce() -> Result<Vec<f64>, String>,
     ) -> Result<Arc<Vec<f64>>, String> {
+        let m = metrics();
+        m.result_lookups.inc();
+        // leader-side wall clock; the Instant is skipped entirely while
+        // the registry is disabled
+        let timed = || {
+            let start = obs::enabled().then(std::time::Instant::now);
+            let r = compute().map(Arc::new);
+            if let Some(t) = start {
+                m.compute_wall.record_duration(t.elapsed());
+            }
+            r
+        };
         if !self.cfg.enabled {
-            return compute().map(Arc::new);
+            return timed();
         }
         let s = &self.stats;
         self.results.get_or_compute(
@@ -343,7 +494,7 @@ impl ScenarioCache {
             &s.evictions,
             || self.load_result(hash),
             |v| self.store_result(hash, v),
-            || compute().map(Arc::new),
+            timed,
         )
     }
 
@@ -355,6 +506,7 @@ impl ScenarioCache {
         program_hash: SpecHash,
         record: impl FnOnce() -> Vec<Vec<Op>>,
     ) -> Arc<TraceEntry> {
+        metrics().trace_lookups.inc();
         if !self.cfg.enabled {
             return Arc::new(TraceEntry::new(record()));
         }
@@ -385,8 +537,17 @@ impl ScenarioCache {
     }
 
     fn load_result(&self, hash: SpecHash) -> Option<Arc<Vec<f64>>> {
-        let text = std::fs::read_to_string(self.result_path(hash)?).ok()?;
-        parse_result_file(&text).map(Arc::new)
+        let path = self.result_path(hash)?;
+        let text = read_entry(&path)?;
+        let parsed = parse_result_file(&text);
+        if parsed.is_none() {
+            metrics().disk_errors.inc();
+            log_warn_once!(
+                "cache: corrupt result entry {} ignored; recomputing",
+                path.display()
+            );
+        }
+        parsed.map(Arc::new)
     }
 
     fn store_result(&self, hash: SpecHash, v: &Arc<Vec<f64>>) {
@@ -395,19 +556,63 @@ impl ScenarioCache {
             for x in v.iter() {
                 text.push_str(&format!("0x{:016x}\n", x.to_bits()));
             }
-            write_atomic(&path, &text);
+            write_entry(&path, &text);
         }
     }
 
     fn load_traces(&self, hash: SpecHash) -> Option<Arc<TraceEntry>> {
-        let text = std::fs::read_to_string(self.trace_path(hash)?).ok()?;
-        let traces = hpcsim_mpi::parse_traces(&text).ok()?;
-        Some(Arc::new(TraceEntry::new(traces)))
+        let path = self.trace_path(hash)?;
+        let text = read_entry(&path)?;
+        match hpcsim_mpi::parse_traces(&text) {
+            Ok(traces) => Some(Arc::new(TraceEntry::new(traces))),
+            Err(e) => {
+                metrics().disk_errors.inc();
+                log_warn_once!(
+                    "cache: corrupt trace entry {} ignored ({e}); re-recording",
+                    path.display()
+                );
+                None
+            }
+        }
     }
 
     fn store_traces(&self, hash: SpecHash, v: &Arc<TraceEntry>) {
         if let Some(path) = self.trace_path(hash) {
-            write_atomic(&path, &hpcsim_mpi::write_traces(&v.traces));
+            write_entry(&path, &hpcsim_mpi::write_traces(&v.traces));
+        }
+    }
+}
+
+/// Read one disk-layer entry. A missing file is the normal miss path; a
+/// *failed* read (permissions, I/O error) is absorbed — the entry is
+/// recomputed — but counted and diagnosed once.
+fn read_entry(path: &Path) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            metrics().disk_read_bytes.add(text.len() as u64);
+            Some(text)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            metrics().disk_errors.inc();
+            log_warn_once!("cache: disk read of {} failed ({e}); recomputing", path.display());
+            None
+        }
+    }
+}
+
+/// Write-through one disk-layer entry. Failures leave the cache
+/// memory-only for that entry (results are unaffected) but are counted
+/// and diagnosed once.
+fn write_entry(path: &Path, text: &str) {
+    match write_atomic(path, text) {
+        Ok(()) => metrics().disk_write_bytes.add(text.len() as u64),
+        Err(e) => {
+            metrics().disk_errors.inc();
+            log_warn_once!(
+                "cache: disk write of {} failed ({e}); entry stays memory-only",
+                path.display()
+            );
         }
     }
 }
@@ -429,21 +634,22 @@ fn parse_result_file(text: &str) -> Option<Vec<f64>> {
 
 /// Write `text` to `path` via a same-directory temp file + rename, so a
 /// concurrent reader sees either nothing or the complete entry. Disk-
-/// layer writes are best-effort: on any I/O error the cache silently
-/// stays memory-only for that entry.
-fn write_atomic(path: &Path, text: &str) {
-    let Some(parent) = path.parent() else { return };
-    if std::fs::create_dir_all(parent).is_err() {
-        return;
-    }
+/// layer writes are best-effort — the caller ([`write_entry`]) counts
+/// and reports failures; results never depend on them.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let Some(parent) = path.parent() else { return Ok(()) };
+    std::fs::create_dir_all(parent)?;
     let tmp = parent.join(format!(
         ".tmp.{}.{}",
         std::process::id(),
         path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
     ));
-    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+    std::fs::write(&tmp, text)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -39,3 +39,10 @@ pub use probe::{
 pub use report::{Figure, Series, Table};
 pub use resilience::{resilience_battery, ResilienceReport, ScenarioError};
 pub use runner::{jobs, parmap, set_jobs, try_parmap, ScenarioPanic};
+// The leveled logger and the metrics registry live in the leaf
+// `hpcsim-obs` crate (so even crates *below* core can feed them);
+// re-export here so harness code reaches both through core.
+pub use hpcsim_obs::{
+    log_debug, log_error, log_info, log_warn, log_warn_once, log_level, set_log_level, LogLevel,
+};
+pub use hpcsim_obs as obs;

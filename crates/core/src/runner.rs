@@ -14,7 +14,40 @@
 //! binary's `--jobs N` reaches every experiment without threading a
 //! parameter through the whole call tree.
 
+use hpcsim_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::LazyLock;
+
+/// Obs metrics for the runner. Scenario and panic counts are
+/// deterministic: the battery executes the same scenarios (and the same
+/// ones panic) at any worker count, under either sweep engine, and at
+/// any cache temperature — panicking evaluations are never cached.
+struct ObsMetrics {
+    scenarios: &'static obs::Counter,
+    panics: &'static obs::Counter,
+    wall: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static ObsMetrics {
+    use obs::Class::Deterministic;
+    static M: LazyLock<ObsMetrics> = LazyLock::new(|| ObsMetrics {
+        scenarios: obs::counter(
+            "hpcsim_scenarios_total",
+            "Scenario evaluations executed by the runner",
+            Deterministic,
+        ),
+        panics: obs::counter(
+            "hpcsim_scenario_panics_total",
+            "Scenario evaluations isolated after panicking",
+            Deterministic,
+        ),
+        wall: obs::histogram(
+            "hpcsim_scenario_wall_ns",
+            "Host wall-clock per scenario evaluation",
+        ),
+    });
+    &M
+}
 
 /// 0 means "auto": one worker per available core.
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -98,9 +131,20 @@ where
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let n = items.len();
+    let m = metrics();
     let run_one = |i: usize| -> Result<O, ScenarioPanic> {
-        catch_unwind(AssertUnwindSafe(|| f(&items[i])))
-            .map_err(|p| ScenarioPanic { index: i, message: panic_message(p.as_ref()) })
+        m.scenarios.inc();
+        // skip the Instant syscalls entirely while obs is off
+        let start = obs::enabled().then(std::time::Instant::now);
+        let out = catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+            .map_err(|p| ScenarioPanic { index: i, message: panic_message(p.as_ref()) });
+        if let Some(t) = start {
+            m.wall.record_duration(t.elapsed());
+        }
+        if out.is_err() {
+            m.panics.inc();
+        }
+        out
     };
     let workers = jobs().min(n);
     if workers <= 1 {

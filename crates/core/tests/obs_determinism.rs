@@ -1,0 +1,72 @@
+//! The registry's deterministic/volatile split, pinned in-process: the
+//! `Class::Deterministic` counters — and the rendered `"deterministic"`
+//! report block — must be byte-identical across worker counts, while
+//! the battery output itself stays byte-identical as always.
+//!
+//! One test function on purpose: integration tests in a binary share
+//! the process-global registry, and `obs::reset()` between batteries
+//! would race with a sibling test.
+
+use hpcsim_core::{obs, run_experiment, set_jobs, ExperimentId, Scale};
+
+fn battery(jobs: usize) -> (String, obs::Snapshot) {
+    obs::reset();
+    set_jobs(jobs);
+    let artifact = run_experiment(ExperimentId::Fig2, Scale::Quick);
+    let rendered = artifact.render();
+    (rendered, obs::snapshot())
+}
+
+fn deterministic_counters(snap: &obs::Snapshot) -> Vec<(&'static str, u64)> {
+    snap.counters
+        .iter()
+        .filter(|c| c.class == obs::Class::Deterministic)
+        .map(|c| (c.name, c.value))
+        .collect()
+}
+
+#[test]
+fn deterministic_class_is_invariant_across_jobs() {
+    obs::set_enabled(true);
+    let (r1, s1) = battery(1);
+    let (r4, s4) = battery(4);
+    set_jobs(0);
+    obs::set_enabled(false);
+
+    // the battery itself is already pinned elsewhere; keep the anchor
+    assert_eq!(r1, r4, "fig2 render must not depend on worker count");
+
+    // every deterministic-class counter merges to the same total from
+    // one worker's shards or four workers' shards
+    let d1 = deterministic_counters(&s1);
+    let d4 = deterministic_counters(&s4);
+    assert!(!d1.is_empty(), "the battery must touch deterministic counters");
+    assert_eq!(d1, d4, "deterministic counters differ across --jobs");
+    assert!(
+        d1.iter().any(|&(n, v)| n == "hpcsim_scenarios_total" && v > 0),
+        "the runner must count scenarios: {d1:?}"
+    );
+
+    // and the rendered block CI diffs is byte-identical
+    assert_eq!(obs::deterministic_json(&s1), obs::deterministic_json(&s4));
+
+    // volatile counters exist (the cache was exercised) but stay out of
+    // the deterministic block — hits trade against coalesces with jobs
+    assert!(
+        s1.counters.iter().any(|c| c.class == obs::Class::Volatile && c.value > 0),
+        "the battery must touch volatile counters too"
+    );
+    let block = obs::deterministic_json(&s1);
+    for c in s1.counters.iter().filter(|c| c.class == obs::Class::Volatile) {
+        assert!(!block.contains(c.name), "{} leaked into the deterministic block", c.name);
+    }
+
+    // wall-clock histograms recorded, and quarantined in `timing`
+    assert!(
+        s1.hists.iter().any(|h| h.name == "hpcsim_scenario_wall_ns" && h.count > 0),
+        "enabled registry must record scenario wall times"
+    );
+    for h in &s1.hists {
+        assert!(!block.contains(h.name), "{} leaked into the deterministic block", h.name);
+    }
+}

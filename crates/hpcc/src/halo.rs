@@ -192,22 +192,25 @@ pub fn halo_run_traces_with(
     engine: SweepEngine,
 ) -> Vec<f64> {
     let ranks = cfg.grid.size();
-    if engine == SweepEngine::Dag && TraceDag::exact_for(machine) {
-        let dag = TraceDag::compile_world(traces);
-        let cfg_pts: Vec<SimConfig> = mappings
-            .iter()
-            .map(|&mapping| SimConfig {
-                machine: machine.clone(),
-                mode,
-                threads: 1,
-                layout: halo_layout(machine, mode, mapping, ranks),
-            })
-            .collect();
-        return dag
-            .evaluate_many(&cfg_pts)
-            .iter()
-            .map(|res| res.makespan().as_secs() / cfg.reps as f64)
-            .collect();
+    if engine == SweepEngine::Dag {
+        if TraceDag::exact_for(machine) {
+            let dag = TraceDag::compile_world(traces);
+            let cfg_pts: Vec<SimConfig> = mappings
+                .iter()
+                .map(|&mapping| SimConfig {
+                    machine: machine.clone(),
+                    mode,
+                    threads: 1,
+                    layout: halo_layout(machine, mode, mapping, ranks),
+                })
+                .collect();
+            return dag
+                .evaluate_many(&cfg_pts)
+                .iter()
+                .map(|res| res.makespan().as_secs() / cfg.reps as f64)
+                .collect();
+        }
+        hpcsim_mpi::note_fallback_contention(mappings.len() as u64);
     }
     mappings
         .iter()
@@ -240,7 +243,13 @@ pub fn halo_eval_traces(
     let sim_cfg = SimConfig { machine: machine.clone(), mode, threads: 1, layout };
     let res = match dag {
         Some(d) if TraceDag::exact_for(machine) => d.evaluate(&sim_cfg),
-        _ => TraceSim::new(sim_cfg).replay_traces(traces),
+        _ => {
+            if dag.is_some() {
+                // a DAG was offered but is inexact on this machine
+                hpcsim_mpi::note_fallback_contention(1);
+            }
+            TraceSim::new(sim_cfg).replay_traces(traces)
+        }
     };
     res.makespan().as_secs() / cfg.reps as f64
 }

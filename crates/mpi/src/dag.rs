@@ -67,8 +67,83 @@ use crate::sim::SimConfig;
 use hpcsim_engine::SimTime;
 use hpcsim_machine::{MachineSpec, NodeModel, Workload};
 use hpcsim_net::{CollectiveModel, CollectiveOp, P2pModel};
+use hpcsim_obs as obs;
 use hpcsim_topo::{Coord, Torus3D};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::LazyLock;
+
+/// Obs counters for the sweep engine. All volatile: how points were
+/// evaluated (DAG lanes vs scalar vs replay fallback) depends on the
+/// engine selection and per-machine exactness, which is exactly what
+/// these exist to report.
+struct ObsMetrics {
+    compiles: &'static obs::Counter,
+    nodes: &'static obs::Counter,
+    edges: &'static obs::Counter,
+    points: &'static obs::Counter,
+    lane_batches: &'static obs::Counter,
+    lane_points: &'static obs::Counter,
+    scalar_points: &'static obs::Counter,
+    fallback_contention: &'static obs::Counter,
+    fallback_faults: &'static obs::Counter,
+}
+
+fn metrics() -> &'static ObsMetrics {
+    use obs::Class::Volatile;
+    static M: LazyLock<ObsMetrics> = LazyLock::new(|| ObsMetrics {
+        compiles: obs::counter(
+            "hpcsim_dag_compiles_total",
+            "Trace sets compiled to task DAGs",
+            Volatile,
+        ),
+        nodes: obs::counter("hpcsim_dag_nodes_total", "Task nodes compiled", Volatile),
+        edges: obs::counter("hpcsim_dag_edges_total", "Dependency edges compiled", Volatile),
+        points: obs::counter(
+            "hpcsim_dag_points_total",
+            "Sweep points evaluated by the DAG engine",
+            Volatile,
+        ),
+        lane_batches: obs::counter(
+            "hpcsim_dag_lane_batches_total",
+            "Full-width batched passes in evaluate_many",
+            Volatile,
+        ),
+        lane_points: obs::counter(
+            "hpcsim_dag_lane_points_total",
+            "Sweep points evaluated inside full-width lane batches",
+            Volatile,
+        ),
+        scalar_points: obs::counter(
+            "hpcsim_dag_scalar_points_total",
+            "Sweep points evaluated one at a time",
+            Volatile,
+        ),
+        fallback_contention: obs::counter(
+            "hpcsim_sweep_fallback_contention_total",
+            "Points sent to replay because the machine's contention model makes DAG inexact",
+            Volatile,
+        ),
+        fallback_faults: obs::counter(
+            "hpcsim_sweep_fallback_faults_total",
+            "Points sent to replay because a fault plan was active",
+            Volatile,
+        ),
+    });
+    &M
+}
+
+/// Record `points` sweep points falling back from the DAG engine to
+/// replay because [`TraceDag::exact_for`] rejected the machine. Called
+/// by the sweep entry points (hpcc, apps, cache) at their gate.
+pub fn note_fallback_contention(points: u64) {
+    metrics().fallback_contention.add(points);
+}
+
+/// Record `points` sweep points falling back to replay because the
+/// scenario carries a fault plan (the DAG engine never prices faults).
+pub fn note_fallback_faults(points: u64) {
+    metrics().fallback_faults.add(points);
+}
 
 /// Which engine a parameter sweep uses per point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -556,6 +631,11 @@ impl TraceDag {
         let (stream, runs, deadlock) =
             Self::schedule(n, &nodes, &rank_ofs, &req_base, n_msgs, &insts, comms);
 
+        let m = metrics();
+        m.compiles.inc();
+        m.nodes.add(total_ops as u64);
+        m.edges.add(seq_edges + msg_edges + coll_edges);
+
         TraceDag {
             ranks: n,
             n_nodes: total_ops as u64,
@@ -745,6 +825,9 @@ impl TraceDag {
     /// compiled traces cannot finish (the defect is structural, so it
     /// was already detected at compile time).
     pub fn evaluate(&self, cfg: &SimConfig) -> SimResult {
+        let m = metrics();
+        m.points.inc();
+        m.scalar_points.inc();
         self.evaluate_in(cfg, &mut EvalCtx::default())
     }
 
@@ -775,6 +858,8 @@ impl TraceDag {
         thread_local! {
             static CTX: std::cell::RefCell<EvalCtx> = std::cell::RefCell::new(EvalCtx::default());
         }
+        let m = metrics();
+        m.points.add(cfgs.len() as u64);
         CTX.with(|ctx| {
             let ctx = &mut ctx.borrow_mut();
             let mut out = Vec::with_capacity(cfgs.len());
@@ -783,9 +868,12 @@ impl TraceDag {
                 if cfgs.len() - i >= L
                     && cfgs[i + 1..i + L].iter().all(|c| same_machine(&cfgs[i], c))
                 {
+                    m.lane_batches.inc();
+                    m.lane_points.add(L as u64);
                     self.evaluate_lanes::<L>(&cfgs[i..i + L], ctx, &mut out);
                     i += L;
                 } else {
+                    m.scalar_points.inc();
                     out.push(self.evaluate_in(&cfgs[i], ctx));
                     i += 1;
                 }

@@ -40,7 +40,10 @@ pub mod result;
 pub mod sim;
 pub mod wire;
 
-pub use dag::{set_sweep_engine, sweep_engine, DagStats, SweepEngine, TraceDag};
+pub use dag::{
+    note_fallback_contention, note_fallback_faults, set_sweep_engine, sweep_engine, DagStats,
+    SweepEngine, TraceDag,
+};
 pub use layout::RankLayout;
 pub use ops::{CommId, Op, Req};
 pub use wire::{parse_traces, write_traces};

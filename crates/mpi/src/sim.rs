@@ -31,9 +31,48 @@ use hpcsim_machine::{ExecMode, MachineSpec, NodeModel};
 use hpcsim_net::{
     CollectiveModel, CollectiveOp, FlowHandle, FlowTracker, P2pModel, RetransmitPolicy,
 };
+use hpcsim_obs as obs;
 use hpcsim_probe::{GaugeId, NoopTracer, SpanEvent, SpanKind, Tracer};
+use std::sync::LazyLock;
 
 use crate::ops::CommId;
+
+/// Obs counters for the replay engine and its fault diagnoses. All
+/// volatile: replays only happen for points the DAG engine and the
+/// scenario cache did not absorb.
+struct ObsMetrics {
+    replay_runs: &'static obs::Counter,
+    fault_retransmits: &'static obs::Counter,
+    fault_detour_legs: &'static obs::Counter,
+    fault_stalls: &'static obs::Counter,
+}
+
+fn metrics() -> &'static ObsMetrics {
+    use obs::Class::Volatile;
+    static M: LazyLock<ObsMetrics> = LazyLock::new(|| ObsMetrics {
+        replay_runs: obs::counter(
+            "hpcsim_replay_runs_total",
+            "Event-queue trace replays executed",
+            Volatile,
+        ),
+        fault_retransmits: obs::counter(
+            "hpcsim_fault_retransmits_total",
+            "Lost messages re-sent under a fault plan",
+            Volatile,
+        ),
+        fault_detour_legs: obs::counter(
+            "hpcsim_fault_detour_legs_total",
+            "Messages routed around dead links via a dog-leg detour",
+            Volatile,
+        ),
+        fault_stalls: obs::counter(
+            "hpcsim_fault_stalls_total",
+            "Replays stopped by a fault-induced stall or unreachable peer",
+            Volatile,
+        ),
+    });
+    &M
+}
 
 /// Simulation configuration: machine + mode + layout.
 #[derive(Debug, Clone)]
@@ -356,6 +395,7 @@ impl TraceSim {
         let mut compute_step = vec![0u64; if fault_noise.is_some() { n } else { 0 }];
         let mut send_seq = vec![0u64; if fault_loss.is_some() { n } else { 0 }];
         let mut total_retransmits = 0u64;
+        let mut total_detour_legs = 0u64;
         let mut stalled: Option<SimError> = None;
 
         let mut clock = vec![SimTime::ZERO; n];
@@ -568,7 +608,12 @@ impl TraceSim {
                                         dst_node,
                                         bytes,
                                     ) {
-                                        Some(v) => v,
+                                        Some(v) => {
+                                            if v.2.is_some() {
+                                                total_detour_legs += 1;
+                                            }
+                                            v
+                                        }
                                         None => {
                                             stalled = Some(SimError::Unreachable {
                                                 rank: r,
@@ -800,6 +845,16 @@ impl TraceSim {
             if underflows > 0 {
                 tracer.gauge(GaugeId::FlowUnderflows, underflows);
             }
+        }
+
+        // one obs flush per replay — the per-message hot path above
+        // never touches the registry
+        let m = metrics();
+        m.replay_runs.inc();
+        m.fault_retransmits.add(total_retransmits);
+        m.fault_detour_legs.add(total_detour_legs);
+        if stalled.is_some() {
+            m.fault_stalls.inc();
         }
 
         if let Some(e) = stalled {

@@ -1,0 +1,65 @@
+//! # hpcsim-obs
+//!
+//! Harness-level observability for the reproduction battery: a
+//! process-wide metrics registry, a tiny leveled stderr logger, and the
+//! exporters (`Prometheus` text exposition, the structured
+//! `run_report.json`, a rendered stderr summary table) the `repro`
+//! binary wires them to.
+//!
+//! This is deliberately **distinct from `hpcsim-probe`**: probe observes
+//! *simulated* time inside one replayed scenario (spans tiling a rank's
+//! clock, link deltas in `SimTime`); obs observes the *harness itself* —
+//! cache hit rates, which engine evaluated each sweep point, fault
+//! events diagnosed, where host wall-clock went. Probe answers "what did
+//! the simulated machine do"; obs answers "what did the simulator do".
+//!
+//! ## Registry design
+//!
+//! * [`Counter`] — monotonic `u64`, striped over cache-padded
+//!   per-thread shards: the hot path is one relaxed `enabled` load plus
+//!   one relaxed `fetch_add` on a shard other threads rarely touch.
+//! * [`Gauge`] — a single `u64` cell with `set` / `set_max`.
+//! * [`Histogram`] — fixed log2 buckets (one per power of two, plus a
+//!   dedicated zero bucket), so recording is a `leading_zeros` and one
+//!   `fetch_add`; no allocation, no locks, no configurable boundaries
+//!   to disagree about across runs.
+//!
+//! Merging is deterministic by construction: every shard holds partial
+//! *sums*, addition commutes, and snapshots sort metrics by name — the
+//! same events produce the same snapshot regardless of which thread
+//! observed them or in what order.
+//!
+//! ## The determinism split
+//!
+//! Every counter and gauge is registered under a [`Class`]:
+//!
+//! * [`Class::Deterministic`] — invariant across `--jobs` counts, sweep
+//!   engine selection, and cache temperature (e.g. *lookups issued*,
+//!   scenarios run, fault events diagnosed per evaluation actually
+//!   performed);
+//! * [`Class::Volatile`] — real observability data that legitimately
+//!   depends on cache state or engine choice (hits vs disk hits,
+//!   DAG-vs-replay point counts, eviction counts).
+//!
+//! Histograms record host wall-clock and are always quarantined in the
+//! report's `timing` section, exactly like `generated_at` in
+//! `BENCH_repro.json`. The `run_report.json` renders the three sections
+//! separately so CI can byte-diff the deterministic one across worker
+//! counts without ever being flaky.
+//!
+//! The registry is **disabled by default**: library users pay one
+//! relaxed bool load per instrumentation site and nothing else (the
+//! release-gated `obs_overhead` test in `hpcsim-bench` pins the cost
+//! under 2%). The `repro` binary enables it at startup unless
+//! `--no-obs` is given.
+
+pub mod log;
+pub mod registry;
+pub mod report;
+
+pub use log::{log_level, set_log_level, LogLevel, Severity};
+pub use registry::{
+    counter, enabled, gauge, histogram, reset, set_enabled, snapshot, Class, Counter, CounterSnap,
+    Gauge, GaugeSnap, HistSnap, Histogram, Snapshot,
+};
+pub use report::{deterministic_json, prometheus_text, run_report_json, summary_table};

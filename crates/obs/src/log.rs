@@ -1,0 +1,192 @@
+//! A tiny leveled stderr logger, replacing the ad-hoc `eprintln!` calls
+//! scattered through the harness. Three user-facing levels (the
+//! `repro --log-level` values):
+//!
+//! * `quiet` — errors only (fatal diagnostics must never vanish);
+//! * `info`  — the default: errors, warnings, and progress notes;
+//! * `debug` — everything, including per-layer chatter.
+//!
+//! Messages carry a [`Severity`]; the global [`LogLevel`] threshold
+//! decides what reaches stderr. Call sites use the [`log_error!`],
+//! [`log_warn!`], [`log_info!`], [`log_debug!`] macros (re-exported by
+//! `hpcsim-core`), or [`log_warn_once!`] for diagnostics that should
+//! fire once per process (e.g. a cache disk-layer failure that would
+//! otherwise repeat per entry).
+//!
+//! [`log_error!`]: crate::log_error
+//! [`log_warn!`]: crate::log_warn
+//! [`log_info!`]: crate::log_info
+//! [`log_debug!`]: crate::log_debug
+//! [`log_warn_once!`]: crate::log_warn_once
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity threshold (what the CLI's `--log-level` sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// Errors only.
+    Quiet,
+    /// Errors, warnings, progress notes (default).
+    #[default]
+    Info,
+    /// Everything.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a CLI value (`quiet` | `info` | `debug`).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "quiet" => Some(LogLevel::Quiet),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Quiet => "quiet",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+/// Per-message severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Always emitted, even at `quiet` (fatal or near-fatal
+    /// diagnostics).
+    Error,
+    /// Emitted at `info` and above.
+    Warn,
+    /// Emitted at `info` and above.
+    Info,
+    /// Emitted only at `debug`.
+    Debug,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Set the process-wide threshold.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current threshold.
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Whether a message of `sev` would currently reach stderr.
+pub fn log_enabled(sev: Severity) -> bool {
+    match sev {
+        Severity::Error => true,
+        Severity::Warn | Severity::Info => log_level() >= LogLevel::Info,
+        Severity::Debug => log_level() >= LogLevel::Debug,
+    }
+}
+
+/// Emit a pre-formatted message if the threshold allows. Macro plumbing
+/// — prefer the `log_*!` macros at call sites.
+pub fn emit(sev: Severity, args: std::fmt::Arguments<'_>) {
+    if log_enabled(sev) {
+        eprintln!("{args}");
+    }
+}
+
+/// Log at [`Severity::Error`] — always emitted, even under `quiet`.
+#[macro_export]
+macro_rules! log_error {
+    ($($t:tt)*) => {
+        $crate::log::emit($crate::log::Severity::Error, format_args!($($t)*))
+    };
+}
+
+/// Log at [`Severity::Warn`] — emitted at `info` and above.
+#[macro_export]
+macro_rules! log_warn {
+    ($($t:tt)*) => {
+        $crate::log::emit($crate::log::Severity::Warn, format_args!($($t)*))
+    };
+}
+
+/// Log at [`Severity::Info`] — emitted at `info` and above.
+#[macro_export]
+macro_rules! log_info {
+    ($($t:tt)*) => {
+        $crate::log::emit($crate::log::Severity::Info, format_args!($($t)*))
+    };
+}
+
+/// Log at [`Severity::Debug`] — emitted only at `debug`.
+#[macro_export]
+macro_rules! log_debug {
+    ($($t:tt)*) => {
+        $crate::log::emit($crate::log::Severity::Debug, format_args!($($t)*))
+    };
+}
+
+/// [`log_warn!`](crate::log_warn) that fires at most once per process
+/// per call site — for per-entry failure paths (cache disk errors)
+/// where one diagnosis is signal and a thousand are noise.
+#[macro_export]
+macro_rules! log_warn_once {
+    ($($t:tt)*) => {{
+        static ONCE: ::std::sync::atomic::AtomicBool =
+            ::std::sync::atomic::AtomicBool::new(false);
+        if !ONCE.swap(true, ::std::sync::atomic::Ordering::Relaxed) {
+            $crate::log_warn!($($t)*);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("loud"), None);
+        assert!(LogLevel::Quiet < LogLevel::Info && LogLevel::Info < LogLevel::Debug);
+        for l in [LogLevel::Quiet, LogLevel::Info, LogLevel::Debug] {
+            assert_eq!(LogLevel::parse(l.label()), Some(l));
+        }
+    }
+
+    #[test]
+    fn thresholds_gate_severities() {
+        let before = log_level();
+        set_log_level(LogLevel::Quiet);
+        assert!(log_enabled(Severity::Error));
+        assert!(!log_enabled(Severity::Warn));
+        assert!(!log_enabled(Severity::Info));
+        assert!(!log_enabled(Severity::Debug));
+        set_log_level(LogLevel::Info);
+        assert!(log_enabled(Severity::Warn) && log_enabled(Severity::Info));
+        assert!(!log_enabled(Severity::Debug));
+        set_log_level(LogLevel::Debug);
+        assert!(log_enabled(Severity::Debug));
+        set_log_level(before);
+    }
+
+    #[test]
+    fn warn_once_is_once() {
+        // the macro's gate is per call site; loop the same site
+        let before = log_level();
+        set_log_level(LogLevel::Quiet); // keep test output clean
+        for _ in 0..3 {
+            log_warn_once!("only once");
+        }
+        set_log_level(before);
+    }
+}

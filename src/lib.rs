@@ -50,6 +50,9 @@ pub use hpcsim_kernels as kernels;
 pub use hpcsim_machine as machine;
 /// Simulated MPI: rank programs and trace replay.
 pub use hpcsim_mpi as mpi;
+/// Harness observability: process-wide metrics registry, leveled
+/// logging, Prometheus / run-report exporters.
+pub use hpcsim_obs as obs;
 /// Network models: torus p2p with contention, collectives.
 pub use hpcsim_net as net;
 /// Power and energy model (Table 3).
