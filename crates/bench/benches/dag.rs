@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hpcsim_hpcc::{halo_traces, HaloConfig, HaloProtocol};
 use hpcsim_machine::registry::bluegene_p;
-use hpcsim_machine::ExecMode;
+use hpcsim_machine::{ExecMode, PerturbSpec, Perturbation, PerturbationSampler};
 use hpcsim_mpi::{RankLayout, SimConfig, TraceDag, TraceSim};
 use hpcsim_topo::{Grid2D, Mapping};
 
@@ -90,5 +90,46 @@ fn bench_mapping_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_evaluate_vs_replay, bench_mapping_sweep);
+/// Monte-Carlo throughput: 128 seeded perturbation samples priced
+/// through the wide-lane batched evaluator (32-sample chunks) vs the
+/// same samples looped one at a time, each materialised into its own
+/// perturbed `MachineSpec`. The ratio is the single-worker lane term
+/// of the sensitivity battery's speedup (the guard in
+/// `tests/sensitivity_speedup.rs` adds the worker fan-out on top).
+fn bench_perturbed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_perturbed");
+    g.sample_size(20);
+    let ranks = 256;
+    let traces = fig2_trace(ranks);
+    let dag = TraceDag::compile_world(&traces);
+    let cfg = point_cfg(ranks, Mapping::txyz());
+    let sampler = PerturbationSampler::new(42, PerturbSpec::default());
+    let samples: Vec<Perturbation> = (0..128u64).map(|i| sampler.sample(i)).collect();
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("batched32", |b| {
+        b.iter(|| {
+            for chunk in samples.chunks(32) {
+                black_box(dag.evaluate_perturbed(black_box(&cfg), chunk));
+            }
+        })
+    });
+    g.bench_function("looped", |b| {
+        b.iter(|| {
+            for s in &samples {
+                let mut c = cfg.clone();
+                c.machine = s.apply_to(&cfg.machine);
+                black_box(dag.evaluate(black_box(&c)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_evaluate_vs_replay,
+    bench_mapping_sweep,
+    bench_perturbed
+);
 criterion_main!(benches);

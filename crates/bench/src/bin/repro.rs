@@ -23,6 +23,8 @@
 //!                           # summary table on stderr
 //! repro fig2 --no-obs       # keep the metrics registry disabled
 //! repro fig2 --log-level quiet   # errors only (also: info, debug)
+//! repro fig2 --sensitivity 42    # Monte-Carlo sensitivity battery:
+//!                           # per-parameter table + sensitivity.csv
 //! ```
 //!
 //! Each experiment prints its rendered tables/figure data to stdout and
@@ -31,7 +33,10 @@
 //! available core); results are assembled in a fixed order, so the
 //! artifacts are byte-identical regardless of the worker count.
 
-use hpcsim_bench::{bench_json_report, CacheReport, ObsReport, PhaseTiming, RunFlags, SweepReport};
+use hpcsim_bench::{
+    bench_json_report, CacheReport, ObsReport, PhaseTiming, RunFlags, SensitivityReport,
+    SweepReport,
+};
 use hpcsim_core::{
     log_error, log_warn, run_experiment, set_jobs, set_log_level, set_sweep_engine, ExperimentId,
     LogLevel, Scale, SweepEngine,
@@ -46,7 +51,7 @@ fn usage() -> ! {
          [--sweep-engine replay|dag] [--cache-dir DIR | --no-cache] \
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
          [--faults SEED] [--fault-profile link|noise|loss|mixed] \
-         [--obs-out FILE | --no-obs] [--log-level quiet|info|debug] \
+         [--obs-out FILE | --no-obs] [--log-level quiet|info|debug] [--sensitivity SEED] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
@@ -199,6 +204,16 @@ fn main() {
         });
     }
 
+    let mut sens_stats: Option<hpcsim_core::SensitivityStats> = None;
+    if let Some(seed) = flags.sensitivity {
+        let start = Instant::now();
+        sens_stats = Some(run_sensitivity(&flags, scale, seed));
+        timings.push(PhaseTiming {
+            name: "sensitivity".to_string(),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
     let total = battery_start.elapsed().as_secs_f64();
     println!(
         "# total: {} experiment(s) in {total:.1}s (jobs={})",
@@ -270,6 +285,33 @@ fn main() {
             cache.speedup(),
             cache.bitwise_identical
         );
+        // Track the batched-over-looped Monte-Carlo throughput with
+        // every recorded report. An explicit `--sensitivity` run is
+        // reused; otherwise the battery runs here from the default
+        // seed.
+        let x = sens_stats
+            .take()
+            .unwrap_or_else(|| hpcsim_core::sensitivity_battery(scale, 42));
+        let sens = SensitivityReport {
+            samples: x.samples,
+            baseline_us: x.baseline_us,
+            batched_seconds: x.batched_seconds,
+            looped_seconds: x.looped_seconds,
+            zero_identical: x.zero_identical,
+            repriced_fraction: x.repriced_fraction,
+            batch_occupancy: x.batch_occupancy,
+        };
+        println!(
+            "# sensitivity battery: {} samples; batched {:.3}s, looped {:.3}s ({:.1}x); \
+             zero-identical: {}; repriced {:.0}% of arrays, occupancy {:.0}%",
+            sens.samples,
+            sens.batched_seconds,
+            sens.looped_seconds,
+            sens.speedup(),
+            sens.zero_identical,
+            100.0 * sens.repriced_fraction,
+            100.0 * sens.batch_occupancy
+        );
         let obs_report = (!flags.no_obs).then(|| ObsReport::from_snapshot(&obs::snapshot()));
         let report = bench_json_report(
             scale_name,
@@ -279,6 +321,7 @@ fn main() {
             flags.bench_timestamp.as_deref(),
             Some(&sweep),
             Some(&cache),
+            Some(&sens),
             obs_report.as_ref(),
         );
         match std::fs::write(path, report) {
@@ -342,6 +385,31 @@ fn run_resilience(flags: &RunFlags, scale: Scale) -> bool {
         log_error!("# resilience: scenario {} ({}) failed: {}", e.index, e.label, e.message);
     }
     report.all_ok()
+}
+
+/// Run the Monte-Carlo sensitivity battery from the given seed: print
+/// the per-parameter table (`# `-prefixed — stripped output stays
+/// byte-identical with and without the flag) and write
+/// `sensitivity.csv`. The CSV holds only deterministic statistics, so
+/// it is byte-identical across `--jobs` counts; wall-clock lives in the
+/// stderr line and the `--bench-json` entry.
+fn run_sensitivity(flags: &RunFlags, scale: Scale, seed: u64) -> hpcsim_core::SensitivityStats {
+    let stats = hpcsim_core::sensitivity_battery(scale, seed);
+    let table = stats.table();
+    for line in table.render().lines() {
+        println!("# {line}");
+    }
+    println!(
+        "# sensitivity: {} samples (seed {seed}); baseline {:.1}us; zero-identical: {}",
+        stats.samples, stats.baseline_us, stats.zero_identical
+    );
+    let _ = std::fs::create_dir_all(&flags.out);
+    let path = flags.out.join("sensitivity.csv");
+    match std::fs::write(&path, table.to_csv()) {
+        Ok(()) => println!("# sensitivity: summary CSV: {}", path.display()),
+        Err(e) => log_warn!("# sensitivity: CSV write failed: {e}"),
+    }
+    stats
 }
 
 /// Run the traced battery of every selected figure that has one, write

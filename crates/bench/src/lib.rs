@@ -76,6 +76,12 @@ pub struct RunFlags {
     /// `--log-level LEVEL`: stderr verbosity (default `info`). Must be
     /// one of [`LOG_LEVELS`].
     pub log_level: Option<String>,
+    /// `--sensitivity SEED`: run the Monte-Carlo sensitivity battery
+    /// from this seed after the selected experiments, printing the
+    /// per-parameter table and writing `OUT/sensitivity.csv`. `None`
+    /// skips the battery (the `--bench-json` report still runs it with
+    /// seed 42 for the schema-v6 `sensitivity` entry).
+    pub sensitivity: Option<u64>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
@@ -119,6 +125,7 @@ impl RunFlags {
             obs_out: None,
             no_obs: false,
             log_level: None,
+            sensitivity: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -181,6 +188,12 @@ impl RunFlags {
                     flags.obs_out = Some(PathBuf::from(take_value(args, &mut i, "--obs-out")?));
                 }
                 "--no-obs" => flags.no_obs = true,
+                "--sensitivity" => {
+                    let v = take_value(args, &mut i, "--sensitivity")?;
+                    flags.sensitivity = Some(v.parse::<u64>().map_err(|_| {
+                        format!("--sensitivity: expected an unsigned integer seed, got {v:?}")
+                    })?);
+                }
                 "--log-level" => {
                     let v = take_value(args, &mut i, "--log-level")?;
                     if !LOG_LEVELS.contains(&v.as_str()) {
@@ -308,6 +321,35 @@ impl CacheReport {
     }
 }
 
+/// The `sensitivity` entry of the schema-v6 report: the Monte-Carlo
+/// perturbation battery over the Fig 2 halo DAG, racing the wide-lane
+/// batched evaluator against a one-sample-at-a-time loop over the same
+/// seeded samples.
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityReport {
+    /// Perturbation samples across all parameter-group rows.
+    pub samples: u64,
+    /// Unperturbed makespan, microseconds.
+    pub baseline_us: f64,
+    /// Wall seconds for the batched (32-wide chunked, parallel) pass.
+    pub batched_seconds: f64,
+    /// Wall seconds re-running the same samples one at a time.
+    pub looped_seconds: f64,
+    /// Whether an identity sample reproduced the baseline bit-for-bit.
+    pub zero_identical: bool,
+    /// Fraction of parameter-group cost arrays actually re-priced.
+    pub repriced_fraction: f64,
+    /// Samples evaluated per lane slot allocated (1.0 = no padding).
+    pub batch_occupancy: f64,
+}
+
+impl SensitivityReport {
+    /// Looped-over-batched wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.looped_seconds / self.batched_seconds.max(1e-12)
+    }
+}
+
 /// The `obs` entry of the schema-v5 report: harness-level counters
 /// lifted from the `hpcsim-obs` registry at the end of the run, so
 /// future PRs can regress on cache hit rate and engine fallback counts,
@@ -336,6 +378,15 @@ pub struct ObsReport {
     pub fallback_contention: u64,
     /// DAG-selected points sent to replay over an armed fault plan.
     pub fallback_faults: u64,
+    /// Perturbation samples priced through the batched evaluator.
+    pub sens_samples: u64,
+    /// Parameter-group cost arrays considered (4 per sample).
+    pub sens_group_arrays: u64,
+    /// Parameter-group cost arrays actually re-priced (rest copied).
+    pub sens_repriced_arrays: u64,
+    /// Lane slots allocated across perturbed batches (occupancy
+    /// denominator).
+    pub sens_lane_slots: u64,
 }
 
 impl ObsReport {
@@ -356,6 +407,10 @@ impl ObsReport {
             replay_runs: get("hpcsim_replay_runs_total"),
             fallback_contention: get("hpcsim_sweep_fallback_contention_total"),
             fallback_faults: get("hpcsim_sweep_fallback_faults_total"),
+            sens_samples: get("hpcsim_sens_samples_total"),
+            sens_group_arrays: get("hpcsim_sens_group_arrays_total"),
+            sens_repriced_arrays: get("hpcsim_sens_repriced_arrays_total"),
+            sens_lane_slots: get("hpcsim_sens_lane_slots_total"),
         }
     }
 }
@@ -372,12 +427,13 @@ pub fn bench_json_report(
     generated_at: Option<&str>,
     sweep: Option<&SweepReport>,
     cache: Option<&CacheReport>,
+    sensitivity: Option<&SensitivityReport>,
     obs: Option<&ObsReport>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"hpcsim-bench-repro/5\",\n");
-    s.push_str("  \"schema_version\": 5,\n");
+    s.push_str("  \"schema\": \"hpcsim-bench-repro/6\",\n");
+    s.push_str("  \"schema_version\": 6,\n");
     match generated_at {
         // the stamp is injected by the harness (`--bench-timestamp`);
         // without one the report stays byte-reproducible
@@ -426,6 +482,21 @@ pub fn bench_json_report(
         }
         None => s.push_str("  \"scenario_cache\": null,\n"),
     }
+    match sensitivity {
+        Some(x) => {
+            s.push_str("  \"sensitivity\": {\n");
+            s.push_str(&format!("    \"samples\": {},\n", x.samples));
+            s.push_str(&format!("    \"baseline_us\": {:.3},\n", x.baseline_us));
+            s.push_str(&format!("    \"batched_seconds\": {:.4},\n", x.batched_seconds));
+            s.push_str(&format!("    \"looped_seconds\": {:.4},\n", x.looped_seconds));
+            s.push_str(&format!("    \"speedup\": {:.2},\n", x.speedup()));
+            s.push_str(&format!("    \"zero_identical\": {},\n", x.zero_identical));
+            s.push_str(&format!("    \"repriced_fraction\": {:.4},\n", x.repriced_fraction));
+            s.push_str(&format!("    \"batch_occupancy\": {:.4}\n", x.batch_occupancy));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"sensitivity\": null,\n"),
+    }
     match obs {
         Some(o) => {
             s.push_str("  \"obs\": {\n");
@@ -439,7 +510,11 @@ pub fn bench_json_report(
             s.push_str(&format!("    \"dag_points\": {},\n", o.dag_points));
             s.push_str(&format!("    \"replay_runs\": {},\n", o.replay_runs));
             s.push_str(&format!("    \"fallback_contention\": {},\n", o.fallback_contention));
-            s.push_str(&format!("    \"fallback_faults\": {}\n", o.fallback_faults));
+            s.push_str(&format!("    \"fallback_faults\": {},\n", o.fallback_faults));
+            s.push_str(&format!("    \"sens_samples\": {},\n", o.sens_samples));
+            s.push_str(&format!("    \"sens_group_arrays\": {},\n", o.sens_group_arrays));
+            s.push_str(&format!("    \"sens_repriced_arrays\": {},\n", o.sens_repriced_arrays));
+            s.push_str(&format!("    \"sens_lane_slots\": {}\n", o.sens_lane_slots));
             s.push_str("  },\n");
         }
         None => s.push_str("  \"obs\": null,\n"),
@@ -545,14 +620,15 @@ mod tests {
             PhaseTiming { name: "table2".into(), seconds: 0.51 },
             PhaseTiming { name: "fig3".into(), seconds: 1.25 },
         ];
-        let s = bench_json_report("quick", 8, &phases, 1.76, None, None, None, None);
+        let s = bench_json_report("quick", 8, &phases, 1.76, None, None, None, None, None);
         assert!(s.starts_with("{\n"));
         assert!(s.ends_with("}\n"));
-        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/5\""));
-        assert!(s.contains("\"schema_version\": 5"));
+        assert!(s.contains("\"schema\": \"hpcsim-bench-repro/6\""));
+        assert!(s.contains("\"schema_version\": 6"));
         assert!(s.contains("\"generated_at\": null"));
         assert!(s.contains("\"fig2_mapping_sweep\": null"));
         assert!(s.contains("\"scenario_cache\": null"));
+        assert!(s.contains("\"sensitivity\": null"));
         assert!(s.contains("\"obs\": null"));
         assert!(s.contains("\"id\": \"table2\", \"seconds\": 0.510"));
         assert!(s.contains("\"total_seconds\": 1.760"));
@@ -563,7 +639,7 @@ mod tests {
 
     #[test]
     fn bench_json_records_harness_timestamp() {
-        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None, None, None);
+        let s = bench_json_report("quick", 1, &[], 0.0, Some("2026-08-05T00:00:00Z"), None, None, None, None);
         assert!(s.contains("\"generated_at\": \"2026-08-05T00:00:00Z\""));
     }
 
@@ -578,7 +654,7 @@ mod tests {
             engines_agree: true,
         };
         assert!(sweep.speedup() > 39.0 && sweep.speedup() < 41.0);
-        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep), None, None);
+        let s = bench_json_report("quick", 1, &[], 0.5, None, Some(&sweep), None, None, None);
         assert!(s.contains("\"fig2_mapping_sweep\": {"));
         assert!(s.contains("\"points\": 32"));
         assert!(s.contains("\"replay_seconds\": 0.4800"));
@@ -602,7 +678,7 @@ mod tests {
             bitwise_identical: true,
         };
         assert!(cache.speedup() > 49.0 && cache.speedup() < 51.0);
-        let s = bench_json_report("quick", 1, &[], 0.7, None, None, Some(&cache), None);
+        let s = bench_json_report("quick", 1, &[], 0.7, None, None, Some(&cache), None, None);
         assert!(s.contains("\"scenario_cache\": {"));
         assert!(s.contains("\"queries\": 64"));
         assert!(s.contains("\"cold_seconds\": 0.6000"));
@@ -627,15 +703,63 @@ mod tests {
             replay_runs: 30,
             fallback_contention: 6,
             fallback_faults: 1,
+            sens_samples: 1000,
+            sens_group_arrays: 4000,
+            sens_repriced_arrays: 1600,
+            sens_lane_slots: 1024,
         };
-        let s = bench_json_report("quick", 1, &[], 0.3, None, None, None, Some(&obs));
+        let s = bench_json_report("quick", 1, &[], 0.3, None, None, None, None, Some(&obs));
         assert!(s.contains("\"obs\": {"));
         assert!(s.contains("\"scenarios\": 120"));
         assert!(s.contains("\"scenario_panics\": 2"));
         assert!(s.contains("\"cache_result_lookups\": 96"));
         assert!(s.contains("\"cache_coalesced\": 4"));
         assert!(s.contains("\"dag_points\": 48"));
-        assert!(s.contains("\"fallback_faults\": 1\n"));
+        assert!(s.contains("\"fallback_faults\": 1,\n"));
+        assert!(s.contains("\"sens_samples\": 1000"));
+        assert!(s.contains("\"sens_repriced_arrays\": 1600"));
+        assert!(s.contains("\"sens_lane_slots\": 1024\n"));
+    }
+
+    #[test]
+    fn bench_json_records_sensitivity_entry() {
+        let sens = SensitivityReport {
+            samples: 1000,
+            baseline_us: 812.5,
+            batched_seconds: 0.05,
+            looped_seconds: 0.4,
+            zero_identical: true,
+            repriced_fraction: 0.4,
+            batch_occupancy: 0.97,
+        };
+        assert!(sens.speedup() > 7.9 && sens.speedup() < 8.1);
+        let s = bench_json_report("quick", 1, &[], 0.5, None, None, None, Some(&sens), None);
+        assert!(s.contains("\"sensitivity\": {"));
+        assert!(s.contains("\"samples\": 1000"));
+        assert!(s.contains("\"baseline_us\": 812.500"));
+        assert!(s.contains("\"batched_seconds\": 0.0500"));
+        assert!(s.contains("\"looped_seconds\": 0.4000"));
+        assert!(s.contains("\"speedup\": 8.00"));
+        assert!(s.contains("\"zero_identical\": true"));
+        assert!(s.contains("\"repriced_fraction\": 0.4000"));
+        assert!(s.contains("\"batch_occupancy\": 0.9700"));
+    }
+
+    #[test]
+    fn sensitivity_flag_parses_and_validates() {
+        let args: Vec<String> =
+            ["--sensitivity", "42", "fig2"].iter().map(|s| s.to_string()).collect();
+        let f = RunFlags::parse(&args).expect("valid sensitivity flag");
+        assert_eq!(f.sensitivity, Some(42));
+        assert_eq!(f.positional, vec!["fig2".to_string()]);
+        // malformed and dangling seeds are one-line diagnostics
+        let args: Vec<String> =
+            ["--sensitivity", "lots"].iter().map(|s| s.to_string()).collect();
+        let err = RunFlags::parse(&args).expect_err("bad seed must be rejected");
+        assert!(err.contains("--sensitivity"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
+        let args: Vec<String> = ["--sensitivity"].iter().map(|s| s.to_string()).collect();
+        assert!(RunFlags::parse(&args).unwrap_err().contains("missing value"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod probe;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod sensitivity;
 pub mod sweep;
 
 pub use ablations::{ablation_table, run_ablations, Ablation};
@@ -39,6 +40,9 @@ pub use probe::{
 pub use report::{Figure, Series, Table};
 pub use resilience::{resilience_battery, ResilienceReport, ScenarioError};
 pub use runner::{jobs, parmap, set_jobs, try_parmap, ScenarioPanic};
+pub use sensitivity::{
+    sensitivity_battery, sensitivity_battery_with, SensitivityRow, SensitivityStats,
+};
 // The leveled logger and the metrics registry live in the leaf
 // `hpcsim-obs` crate (so even crates *below* core can feed them);
 // re-export here so harness code reaches both through core.

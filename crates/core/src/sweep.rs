@@ -21,10 +21,11 @@ use crate::experiment::Scale;
 pub struct MappingSweepStats {
     /// Sweep points evaluated per engine (panels × mappings × sizes).
     pub points: u64,
-    /// Wall seconds for the per-point replay engine.
+    /// Wall seconds for the per-point replay engine (min of 3 timed
+    /// rounds after a warmup round).
     pub replay_seconds: f64,
     /// Wall seconds for compile-once-evaluate-per-point DAG engine
-    /// (compilation included).
+    /// (compilation included; min of 3 timed rounds after a warmup).
     pub dag_seconds: f64,
     /// Task nodes in the largest compiled DAG.
     pub dag_nodes: u64,
@@ -92,13 +93,25 @@ pub fn fig2_mapping_sweep(scale: Scale) -> MappingSweepStats {
     // One untimed round first: the entry tracks steady-state engine
     // cost, and a cold first call bills page faults for the compile
     // arenas and lane scratch against whichever engine runs first.
+    // Then min-of-3 timed rounds per engine: the CI wall-clock smoke
+    // compares this entry against the committed report, and a single
+    // timed round is at the mercy of scheduler noise on shared
+    // runners; the minimum is the stable steady-state estimator.
     let (_, warm_replay) = run(SweepEngine::Replay);
     let (_, warm_dag) = run(SweepEngine::Dag);
-    let (replay_seconds, replay_results) = run(SweepEngine::Replay);
-    let (dag_seconds, dag_results) = run(SweepEngine::Dag);
-    let engines_agree = replay_results == dag_results
-        && warm_replay == replay_results
-        && warm_dag == dag_results;
+    let mut replay_seconds = f64::INFINITY;
+    let mut dag_seconds = f64::INFINITY;
+    let mut engines_agree = true;
+    for _ in 0..3 {
+        let (rs, replay_results) = run(SweepEngine::Replay);
+        let (ds, dag_results) = run(SweepEngine::Dag);
+        replay_seconds = replay_seconds.min(rs);
+        dag_seconds = dag_seconds.min(ds);
+        engines_agree = engines_agree
+            && replay_results == dag_results
+            && warm_replay == replay_results
+            && warm_dag == dag_results;
+    }
 
     let (mut dag_nodes, mut dag_edges) = (0u64, 0u64);
     for (_, traces) in &traced {

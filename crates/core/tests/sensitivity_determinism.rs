@@ -1,0 +1,26 @@
+//! The sensitivity battery's reportable output must be byte-identical
+//! regardless of the worker count: sample generation is a pure function
+//! of `(seed, group, index)`, chunking is fixed-width, and `parmap`
+//! preserves input order — so `--jobs 1` and `--jobs 4` render the same
+//! table and CSV. A single test function owns the process-global jobs
+//! knob for the whole binary, so the two runs cannot race.
+
+use hpcsim_core::{sensitivity_battery_with, set_jobs, Scale};
+
+#[test]
+fn sensitivity_output_is_byte_identical_across_jobs() {
+    set_jobs(1);
+    let serial = sensitivity_battery_with(Scale::Quick, 42, 48);
+    set_jobs(4);
+    let parallel = sensitivity_battery_with(Scale::Quick, 42, 48);
+    set_jobs(0); // restore "auto" for anything else in this process
+
+    assert_eq!(serial.rows, parallel.rows, "per-group stats diverged across jobs");
+    assert_eq!(serial.table().render(), parallel.table().render());
+    assert_eq!(serial.table().to_csv(), parallel.table().to_csv());
+    assert_eq!(serial.samples, parallel.samples);
+    assert_eq!(serial.baseline_us, parallel.baseline_us);
+    assert_eq!(serial.repriced_fraction, parallel.repriced_fraction);
+    assert_eq!(serial.batch_occupancy, parallel.batch_occupancy);
+    assert!(serial.zero_identical && parallel.zero_identical);
+}

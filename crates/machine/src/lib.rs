@@ -21,11 +21,16 @@
 //!   thread count. This is what makes DGEMM "compute-bound, XT wins on
 //!   clock" and STREAM "bandwidth-bound, BG/P competitive" fall out of the
 //!   same formula, as the paper observes.
+//! * [`perturb`] — seeded multiplicative perturbations of the machine
+//!   parameter groups (link bandwidth, hop latency, compute noise,
+//!   collectives) for Monte-Carlo sensitivity sweeps; deterministic
+//!   per-sample sub-RNGs from the engine's splittable RNG.
 
 pub mod arch;
 pub mod cost;
 pub mod exec;
 pub mod node_model;
+pub mod perturb;
 pub mod registry;
 
 pub use arch::{
@@ -35,4 +40,5 @@ pub use arch::{
 pub use cost::{CostDesc, Workload};
 pub use exec::ExecMode;
 pub use node_model::NodeModel;
+pub use perturb::{ParamGroups, Perturbation, PerturbSpec, PerturbationSampler};
 pub use registry::{all_machines, machine, Installation};

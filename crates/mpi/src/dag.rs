@@ -60,16 +60,31 @@
 //! exchanges would self-deadlock); suspending only the wait reproduces
 //! the replay's happens-before relation, so every trace set the replay
 //! can finish, the evaluator finishes too.
+//!
+//! ## Batched and perturbed evaluation
+//!
+//! Per-point costs are priced into structure-of-arrays tables split by
+//! the machine parameter group that owns them — route latency
+//! ([`ParamGroups::HOP_LAT`]), per-byte serialization
+//! ([`ParamGroups::LINK_BW`]), compute/delay durations
+//! ([`ParamGroups::COMPUTE`]) and collective durations
+//! ([`ParamGroups::COLLECTIVE`]). [`TraceDag::evaluate_many`] batches
+//! up to 32 structurally identical points into one wide streaming pass,
+//! and [`TraceDag::evaluate_perturbed`] evaluates Monte-Carlo samples
+//! around one point by *delta re-pricing*: a sample re-prices only the
+//! cost arrays its [`Perturbation::groups`] bitmask touches and reuses
+//! the cached base tables (bit-for-bit) for the rest, so an identity
+//! sample reproduces the unperturbed engine exactly.
 
 use crate::ops::Op;
 use crate::result::SimResult;
 use crate::sim::SimConfig;
 use hpcsim_engine::SimTime;
-use hpcsim_machine::{MachineSpec, NodeModel, Workload};
+use hpcsim_machine::{ExecMode, MachineSpec, NodeModel, ParamGroups, Perturbation, Workload};
 use hpcsim_net::{CollectiveModel, CollectiveOp, P2pModel};
 use hpcsim_obs as obs;
 use hpcsim_topo::{Coord, Torus3D};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::LazyLock;
 
 /// Obs counters for the sweep engine. All volatile: how points were
@@ -86,6 +101,10 @@ struct ObsMetrics {
     scalar_points: &'static obs::Counter,
     fallback_contention: &'static obs::Counter,
     fallback_faults: &'static obs::Counter,
+    sens_samples: &'static obs::Counter,
+    sens_group_arrays: &'static obs::Counter,
+    sens_repriced: &'static obs::Counter,
+    sens_lane_slots: &'static obs::Counter,
 }
 
 fn metrics() -> &'static ObsMetrics {
@@ -126,6 +145,26 @@ fn metrics() -> &'static ObsMetrics {
         fallback_faults: obs::counter(
             "hpcsim_sweep_fallback_faults_total",
             "Points sent to replay because a fault plan was active",
+            Volatile,
+        ),
+        sens_samples: obs::counter(
+            "hpcsim_sens_samples_total",
+            "Monte-Carlo perturbation samples evaluated",
+            Volatile,
+        ),
+        sens_group_arrays: obs::counter(
+            "hpcsim_sens_group_arrays_total",
+            "Parameter-group cost arrays a full re-price would rebuild (4 per sample)",
+            Volatile,
+        ),
+        sens_repriced: obs::counter(
+            "hpcsim_sens_repriced_arrays_total",
+            "Parameter-group cost arrays actually re-priced by delta re-pricing",
+            Volatile,
+        ),
+        sens_lane_slots: obs::counter(
+            "hpcsim_sens_lane_slots_total",
+            "Lane slots across perturbed batches (occupancy = samples / slots)",
             Volatile,
         ),
     });
@@ -270,12 +309,96 @@ struct MachCosts {
     hs_shm: SimTime,
 }
 
+/// Structure-of-arrays base cost tables for one fully-specified sweep
+/// point (machine + layout + mode), split by the machine parameter
+/// group that prices each array. This is what Monte-Carlo delta
+/// re-pricing works against: a perturbed sample rebuilds only the
+/// arrays its [`Perturbation::groups`] bitmask touches and reuses the
+/// rest bit-for-bit. Cached per thread while the point is unchanged —
+/// on a sensitivity battery that is every batch after the first.
+struct PointCosts {
+    // cache key: the DAG identity (channel/compute/collective ids are
+    // per-DAG) plus everything the tables were priced from
+    uid: u64,
+    machine: MachineSpec,
+    mode: ExecMode,
+    threads: u32,
+    ambient: f64,
+    hop_scale: f64,
+    tasks_per_node: usize,
+    torus: Torus3D,
+    node_of_rank: Vec<usize>,
+    /// [`ParamGroups::HOP_LAT`]: off-node route latency per channel.
+    chan_hop: Vec<SimTime>,
+    /// [`ParamGroups::LINK_BW`]: off-node per-byte serialization per
+    /// channel (expanded from the byte-class table).
+    chan_serial: Vec<SimTime>,
+    /// Fused base column `(wire, rdv_extra)` per channel — exactly what
+    /// the scalar pass prices, so untouched lanes copy these bits.
+    chan_wire: Vec<(SimTime, SimTime)>,
+    /// On-node channels ride the shared-memory path; link-bandwidth and
+    /// hop-latency perturbations never touch them.
+    chan_on: Vec<bool>,
+    chan_copy: Vec<SimTime>,
+    chan_eager: Vec<bool>,
+    /// [`ParamGroups::COMPUTE`]: resolved duration per compute entry.
+    compute: Vec<SimTime>,
+    /// [`ParamGroups::COLLECTIVE`]: duration per (comm, op) cost entry.
+    coll: Vec<SimTime>,
+    /// Route-independent rendezvous handshake part (overheads), shared
+    /// by every off-node channel.
+    hs_off: SimTime,
+}
+
+/// Lane-kernel cost scaling with exact pass-through at 1.0 (so
+/// untouched factors keep base bits): scales directly in the picosecond
+/// domain — one multiply, a round, and a saturating cast, all
+/// branch-free and if-convertible, so the per-lane loops stay SIMD.
+/// (`SimTime::scale` round-trips through seconds, which costs a divide
+/// and NaN/overflow branches per lane — that serialized the kernels.)
+/// Cost-table values sit far below 2^53 ps, where the f64 round-trip is
+/// lossless, and the `MAX` sentinel saturates back to itself.
+#[inline(always)]
+#[allow(clippy::manual_clamp)] // .clamp() passes NaN through; .max(0.0) maps it to 0.0
+fn scale_ps(t: SimTime, factor: f64) -> SimTime {
+    // Round-to-nearest via +0.5 and a truncating conversion:
+    // `f64::round` (half-away-from-zero) has no single x86 instruction,
+    // and the saturating `as u64` cast gets scalarized by the
+    // vectorizer — so clamp explicitly (two vector min/max ops; NaN
+    // lands on 0.0 through max) and convert with the raw instruction.
+    // The clamp ceiling only bites past 2^63 ps ≈ 107 simulated days
+    // for a single cost entry, far beyond any priced cost.
+    let x = (t.as_ps() as f64 * factor + 0.5).max(0.0).min(9.2e18);
+    // SAFETY: x is clamped to [0, 9.2e18], inside u64's exact range.
+    let scaled = SimTime::from_ps(unsafe { x.to_int_unchecked::<u64>() });
+    if factor == 1.0 {
+        t
+    } else {
+        scaled
+    }
+}
+
+/// Fixed-width view of one node's lane block. Converting the slice to
+/// an array reference hoists the bounds check out of the per-lane
+/// loops, which is what lets them autovectorize.
+#[inline(always)]
+fn lanes<const L: usize, T>(s: &[T], at: usize) -> &[T; L] {
+    (&s[at..at + L]).try_into().unwrap()
+}
+
+/// Mutable fixed-width view of one node's lane block.
+#[inline(always)]
+fn lanes_mut<const L: usize, T>(s: &mut [T], at: usize) -> &mut [T; L] {
+    (&mut s[at..at + L]).try_into().unwrap()
+}
+
 /// Reusable evaluation state: cached machine tables plus the per-point
 /// scratch arrays. [`TraceDag::evaluate_many`] threads one of these
 /// through a whole sweep so points after the first allocate nothing.
 #[derive(Default)]
 struct EvalCtx {
     mach: Option<MachCosts>,
+    point: Option<PointCosts>,
     torus: Option<Torus3D>,
     coords: Vec<Coord>,
     chan_costs: Vec<ChanCost>,
@@ -287,17 +410,52 @@ struct EvalCtx {
     msg_post: Vec<(SimTime, SimTime)>,
     inst_arrived: Vec<u32>,
     inst_latest: Vec<SimTime>,
-    // lane-batched pass (`evaluate_lanes`): timing state widened to L
+    // lane-batched pass (`stream_lanes`): timing state widened to L
     // interleaved lanes; structural state stays in the scalar arrays
     lane_chan: Vec<(SimTime, SimTime)>,
     chan_copy: Vec<SimTime>,
     chan_eager: Vec<bool>,
+    lane_compute: Vec<SimTime>,
+    lane_coll: Vec<SimTime>,
+    /// Per-lane factor on inline `Delay` durations (delays model OS
+    /// noise/imbalance, so the COMPUTE perturbation group scales them);
+    /// all 1.0 — exact pass-through — for mapping batches. Perturbed
+    /// batches also scale `Compute` nodes by it (same parameter group).
+    lane_delay: Vec<f64>,
+    // Perturbed batches don't materialize lane cost arrays at all: a
+    // perturbed lane's cost is `base ⊗ factor`, so the stream computes
+    // it in registers from the base SoA tables plus these per-lane
+    // factors (`scale_or` passes base bits through at exactly 1.0).
+    lane_inv_bw: Vec<f64>,
+    lane_hop_scale: Vec<f64>,
+    lane_coll_scale: Vec<f64>,
     lane_req_val: Vec<SimTime>,
     lane_msg_arrive: Vec<SimTime>,
-    lane_msg_post: Vec<(SimTime, SimTime)>,
+    // (receive's run start, receive's post clock), split into two flat
+    // arrays: the interleaved pair cost a shuffle per lane vector in
+    // the hottest (`Wait`) arm
+    lane_msg_post_rs: Vec<SimTime>,
+    lane_msg_post_clk: Vec<SimTime>,
     lane_run_start: Vec<SimTime>,
     lane_inst_latest: Vec<SimTime>,
 }
+
+// The scratch is thread-local so back-to-back sweeps (one call per
+// halo config, one per perturbed batch) reuse warmed allocations
+// instead of page-faulting megabytes of fresh arrays per batch. Reuse
+// across different DAGs is safe: every slot a pass reads is written
+// earlier in the same pass, the machine-table cache keys on the
+// byte-class table as well as the machine, and the point-table cache
+// keys on the DAG's unique id.
+thread_local! {
+    static CTX: std::cell::RefCell<EvalCtx> = std::cell::RefCell::new(EvalCtx::default());
+}
+
+/// Monotonic id per compiled DAG: the thread-local point-cost cache
+/// stores per-DAG arrays (indexed by channel/compute/collective ids),
+/// so the DAG identity is part of its key. Clones share the id — they
+/// are structurally identical, so shared tables stay valid.
+static DAG_UID: AtomicU64 = AtomicU64::new(0);
 
 /// A fixed topological order: the contiguous node stream, the
 /// (rank, length) runs tiling it, and any structural deadlock as
@@ -325,6 +483,8 @@ pub struct DagStats {
 /// per node at evaluation time beyond the per-point scratch arrays.
 #[derive(Debug, Clone)]
 pub struct TraceDag {
+    /// See [`DAG_UID`].
+    uid: u64,
     ranks: usize,
     n_nodes: u64,
     /// Task nodes in one fixed machine-independent topological order;
@@ -637,6 +797,7 @@ impl TraceDag {
         m.edges.add(seq_edges + msg_edges + coll_edges);
 
         TraceDag {
+            uid: DAG_UID.fetch_add(1, Ordering::Relaxed),
             ranks: n,
             n_nodes: total_ops as u64,
             stream,
@@ -837,8 +998,12 @@ impl TraceDag {
     /// sweep everything but the route pricing and the streaming pass
     /// itself is shared, so points after the first allocate nothing.
     pub fn evaluate_many(&self, cfgs: &[SimConfig]) -> Vec<SimResult> {
-        /// Lane width of the batched pass: the Fig 2 mapping-set size,
-        /// and one cache line of `SimTime`s per request.
+        /// Widest lane batch: saturates the node decode amortization on
+        /// big batteries while keeping the per-request lane stripe
+        /// within a few cache lines.
+        const WIDE: usize = 32;
+        /// Narrow batch: the Fig 2 mapping-set size, and one cache line
+        /// of `SimTime`s per request.
         const L: usize = 8;
         // Lanes share every machine-derived table, so a batch must
         // agree on everything except the rank layout.
@@ -849,15 +1014,6 @@ impl TraceDag {
                 && a.layout.torus == b.layout.torus
                 && a.layout.ambient_flows == b.layout.ambient_flows
         }
-        // The scratch is thread-local so back-to-back sweeps (one call
-        // per halo config) reuse warmed allocations instead of
-        // page-faulting megabytes of fresh arrays per batch. Reuse
-        // across different DAGs is safe: every slot the pass reads is
-        // written earlier in the same pass, and the machine-table cache
-        // keys on the byte-class table as well as the machine.
-        thread_local! {
-            static CTX: std::cell::RefCell<EvalCtx> = std::cell::RefCell::new(EvalCtx::default());
-        }
         let m = metrics();
         m.points.add(cfgs.len() as u64);
         CTX.with(|ctx| {
@@ -865,7 +1021,14 @@ impl TraceDag {
             let mut out = Vec::with_capacity(cfgs.len());
             let mut i = 0;
             while i < cfgs.len() {
-                if cfgs.len() - i >= L
+                let rem = cfgs.len() - i;
+                if rem >= WIDE && cfgs[i + 1..i + WIDE].iter().all(|c| same_machine(&cfgs[i], c))
+                {
+                    m.lane_batches.inc();
+                    m.lane_points.add(WIDE as u64);
+                    self.evaluate_lanes::<WIDE>(&cfgs[i..i + WIDE], ctx, &mut out);
+                    i += WIDE;
+                } else if rem >= L
                     && cfgs[i + 1..i + L].iter().all(|c| same_machine(&cfgs[i], c))
                 {
                     m.lane_batches.inc();
@@ -878,6 +1041,67 @@ impl TraceDag {
                     i += 1;
                 }
             }
+            out
+        })
+    }
+
+    /// Evaluate Monte-Carlo perturbation `samples` around one sweep
+    /// point: the base cost tables for `cfg` are priced once (and
+    /// cached per thread across calls), then each sample *delta
+    /// re-prices* only the structure-of-arrays cost tables its
+    /// [`Perturbation::groups`] bitmask touches — untouched groups
+    /// reuse the base arrays bit-for-bit, so an identity sample is
+    /// bit-identical to [`TraceDag::evaluate`]. Samples are packed into
+    /// wide lane batches (the last partial batch padded by repeating
+    /// its final sample); results come back in sample order, one per
+    /// sample, independent of the batch decomposition.
+    pub fn evaluate_perturbed(&self, cfg: &SimConfig, samples: &[Perturbation]) -> Vec<SimResult> {
+        const WIDE: usize = 32;
+        const L: usize = 8;
+        let n = self.ranks;
+        assert_eq!(cfg.ranks(), n, "layout must place exactly the compiled ranks");
+        if let Some((count, rank, op)) = self.deadlock {
+            panic!("deadlock: {count} ranks did not finish, e.g. rank {rank} at op {op}");
+        }
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let m = metrics();
+        m.points.add(samples.len() as u64);
+        m.sens_samples.add(samples.len() as u64);
+        m.sens_group_arrays.add(samples.len() as u64 * ParamGroups::COUNT as u64);
+        m.sens_repriced
+            .add(samples.iter().map(|s| s.groups().count() as u64).sum());
+        let o_send = cfg.machine.nic.o_send;
+        let o_recv = cfg.machine.nic.o_recv;
+        CTX.with(|ctx| {
+            let ctx = &mut ctx.borrow_mut();
+            self.ensure_point_costs(cfg, ctx);
+            // Take the base tables out so pricing can read them while
+            // writing the lane scratch; restored before returning.
+            let pc = ctx.point.take().expect("point tables just ensured");
+            let mut out = Vec::with_capacity(samples.len());
+            let mut i = 0;
+            while samples.len() - i >= WIDE {
+                m.sens_lane_slots.add(WIDE as u64);
+                Self::price_perturbed::<WIDE>(&samples[i..i + WIDE], ctx);
+                self.stream_lanes::<WIDE, true>(o_send, o_recv, Some(&pc), ctx, &mut out);
+                i += WIDE;
+            }
+            while samples.len() - i > 1 {
+                let take = (samples.len() - i).min(L);
+                m.sens_lane_slots.add(L as u64);
+                Self::price_perturbed::<L>(&samples[i..i + take], ctx);
+                self.stream_lanes::<L, true>(o_send, o_recv, Some(&pc), ctx, &mut out);
+                out.truncate(out.len() - (L - take));
+                i += take;
+            }
+            if i < samples.len() {
+                m.sens_lane_slots.inc();
+                Self::price_perturbed::<1>(&samples[i..], ctx);
+                self.stream_lanes::<1, true>(o_send, o_recv, Some(&pc), ctx, &mut out);
+            }
+            ctx.point = Some(pc);
             out
         })
     }
@@ -922,6 +1146,148 @@ impl TraceDag {
             });
         }
         mach.as_ref().expect("machine tables just ensured")
+    }
+
+    /// Ensure `ctx.point` holds the structure-of-arrays base cost
+    /// tables for `cfg` — the split (hop / serial / compute /
+    /// collective) arrays delta re-pricing scales plus the fused
+    /// per-channel column untouched lanes copy. Rebuilt only when the
+    /// point actually changed, which on a sensitivity battery is never
+    /// after the first batch.
+    fn ensure_point_costs(&self, cfg: &SimConfig, ctx: &mut EvalCtx) {
+        let lay = &cfg.layout;
+        if ctx.point.as_ref().is_some_and(|pc| {
+            pc.uid == self.uid
+                && pc.mode == cfg.mode
+                && pc.threads == cfg.threads
+                && pc.ambient == lay.ambient_flows
+                && pc.hop_scale == lay.hop_scale
+                && pc.tasks_per_node == lay.tasks_per_node
+                && pc.torus == lay.torus
+                && pc.node_of_rank == lay.node_of_rank
+                && pc.machine == cfg.machine
+        }) {
+            return;
+        }
+        let p2p = P2pModel::new(&cfg.machine, lay.torus).with_ambient(lay.ambient_flows);
+        let EvalCtx { mach, torus: cached_torus, coords, .. } = &mut *ctx;
+        let mc = self.mach_costs(cfg, &p2p, mach);
+        let torus = p2p.torus();
+        if *cached_torus != Some(*torus) {
+            *cached_torus = Some(*torus);
+            coords.clear();
+            coords.extend((0..torus.nodes()).map(|i| torus.coord(i)));
+        }
+        let nchan = self.channels.len();
+        let mut chan_hop = vec![SimTime::ZERO; nchan];
+        let mut chan_serial = vec![SimTime::ZERO; nchan];
+        let mut chan_wire = vec![(SimTime::ZERO, SimTime::ZERO); nchan];
+        let mut chan_on = vec![false; nchan];
+        let mut chan_copy = vec![SimTime::ZERO; nchan];
+        let mut chan_eager = vec![false; nchan];
+        // Hop geometry depends only on the (src, dst) pair, not the
+        // payload class; compile emits a pair's classes consecutively.
+        let mut prev_pair = (u32::MAX, u32::MAX);
+        let mut hop = SimTime::ZERO;
+        let mut on_node = false;
+        for (ci, c) in self.channels.iter().enumerate() {
+            if (c.src, c.dst) != prev_pair {
+                prev_pair = (c.src, c.dst);
+                let src_node = lay.node_of_rank[c.src as usize];
+                let dst_node = lay.node_of_rank[c.dst as usize];
+                on_node = src_node == dst_node;
+                if !on_node {
+                    hop = p2p.hop_cost(torus.hops(coords[src_node], coords[dst_node]));
+                }
+            }
+            let cl = &mc.class_costs[c.class as usize];
+            let (wire, hs) = if on_node {
+                (p2p.shm_base() + cl.shm_serial, mc.hs_shm)
+            } else {
+                chan_hop[ci] = hop;
+                chan_serial[ci] = cl.serial;
+                (hop + cl.serial, hop + mc.hs_off)
+            };
+            chan_wire[ci] = (wire, if cl.eager { SimTime::ZERO } else { hs });
+            chan_on[ci] = on_node;
+            chan_copy[ci] = cl.copy;
+            chan_eager[ci] = cl.eager;
+        }
+        let hs_off = mc.hs_off;
+        let compute: Vec<SimTime> = self
+            .compute_costs
+            .iter()
+            .map(|&(work, threads)| mc.node_model.time(&work, cfg.mode, threads))
+            .collect();
+        let coll: Vec<SimTime> = if self.insts.is_empty() {
+            Vec::new()
+        } else {
+            let models: Vec<CollectiveModel> = self
+                .comms
+                .iter()
+                .map(|m| {
+                    CollectiveModel::with_hop_scale(
+                        &cfg.machine,
+                        m.len(),
+                        lay.tasks_per_node,
+                        lay.hop_scale,
+                    )
+                })
+                .collect();
+            self.coll_costs
+                .iter()
+                .map(|&(comm, op)| models[comm as usize].time(op))
+                .collect()
+        };
+        ctx.point = Some(PointCosts {
+            uid: self.uid,
+            machine: cfg.machine.clone(),
+            mode: cfg.mode,
+            threads: cfg.threads,
+            ambient: lay.ambient_flows,
+            hop_scale: lay.hop_scale,
+            tasks_per_node: lay.tasks_per_node,
+            torus: *torus,
+            node_of_rank: lay.node_of_rank.clone(),
+            chan_hop,
+            chan_serial,
+            chan_wire,
+            chan_on,
+            chan_copy,
+            chan_eager,
+            compute,
+            coll,
+            hs_off,
+        });
+    }
+
+    /// Price up to `L` perturbation samples (lane `l ≥ samples.len()`
+    /// repeats the last sample — padding for a partial final batch).
+    /// Delta re-pricing taken to its limit: nothing is materialized per
+    /// (cost, lane) at all. A perturbed lane's cost is always
+    /// `base ⊗ factor`, so pricing stores only the four per-lane scale
+    /// factors and the streaming pass applies them in registers against
+    /// the base SoA tables — an untouched group's factor is exactly 1.0
+    /// and `scale_or` passes the base bits through unchanged, so
+    /// identity lanes stay bit-identical.
+    fn price_perturbed<const L: usize>(samples: &[Perturbation], ctx: &mut EvalCtx) {
+        debug_assert!(!samples.is_empty() && samples.len() <= L);
+        let EvalCtx { lane_delay, lane_inv_bw, lane_hop_scale, lane_coll_scale, .. } = &mut *ctx;
+        for v in [&mut *lane_delay, &mut *lane_inv_bw, &mut *lane_hop_scale, &mut *lane_coll_scale]
+        {
+            v.clear();
+            v.resize(L, 1.0);
+        }
+        let last = samples.len() - 1;
+        for l in 0..L {
+            let p = &samples[l.min(last)];
+            lane_delay[l] = p.compute_scale;
+            // bandwidth multiplies; serialization time divides (1/1.0
+            // is exactly 1.0, so an untouched link keeps base bits)
+            lane_inv_bw[l] = 1.0 / p.bw_scale;
+            lane_hop_scale[l] = p.hop_scale;
+            lane_coll_scale[l] = p.coll_scale;
+        }
     }
 
     fn evaluate_in(&self, cfg: &SimConfig, ctx: &mut EvalCtx) -> SimResult {
@@ -1188,19 +1554,14 @@ impl TraceDag {
             mach,
             torus: cached_torus,
             coords,
-            req_msg,
-            req_chan,
-            inst_arrived,
             lane_chan,
             chan_copy,
             chan_eager,
-            lane_req_val,
-            lane_msg_arrive,
-            lane_msg_post,
-            lane_run_start,
-            lane_inst_latest,
+            lane_compute,
+            lane_coll,
+            lane_delay,
             ..
-        } = ctx;
+        } = &mut *ctx;
 
         // Machine-level tables are shared across lanes (the batch
         // dispatcher guarantees one machine); routes are priced per
@@ -1255,10 +1616,19 @@ impl TraceDag {
                 lane_chan[ci * L + l] = (wire, if cl.eager { SimTime::ZERO } else { hs });
             }
         }
-        let lane_coll_dur: Vec<SimTime> = if self.insts.is_empty() {
-            Vec::new()
-        } else {
-            let mut v = vec![SimTime::ZERO; self.coll_costs.len() * L];
+        // Compute durations are layout-independent, so the batch shares
+        // one priced value per compute entry across all lanes.
+        lane_compute.clear();
+        lane_compute.resize(self.compute_costs.len() * L, SimTime::ZERO);
+        for (e, &(work, threads)) in self.compute_costs.iter().enumerate() {
+            let t = mc.node_model.time(&work, cfg0.mode, threads);
+            lane_compute[e * L..e * L + L].fill(t);
+        }
+        lane_delay.clear();
+        lane_delay.resize(L, 1.0);
+        lane_coll.clear();
+        lane_coll.resize(self.coll_costs.len() * L, SimTime::ZERO);
+        if !self.insts.is_empty() {
             for (l, cfg) in cfgs.iter().enumerate() {
                 let models: Vec<CollectiveModel> = self
                     .comms
@@ -1273,18 +1643,168 @@ impl TraceDag {
                     })
                     .collect();
                 for (k, &(comm, op)) in self.coll_costs.iter().enumerate() {
-                    v[k * L + l] = models[comm as usize].time(op);
+                    lane_coll[k * L + l] = models[comm as usize].time(op);
                 }
             }
-            v
+        }
+
+        self.stream_lanes::<L, false>(o_send, o_recv, None, ctx, out);
+    }
+
+    /// The wide streaming pass shared by mapping batches
+    /// ([`TraceDag::evaluate_lanes`]) and perturbed batches
+    /// ([`TraceDag::evaluate_perturbed`]): evaluate `L` lanes whose
+    /// cost tables are already priced into the ctx lane arrays in ONE
+    /// walk of the schedule. The schedule fixes all control flow, so
+    /// everything structural — request→message pairing,
+    /// resolved-vs-pending wait state, collective membership counts —
+    /// is identical across lanes and stays in scalar arrays; only
+    /// timing state (clocks, route costs, arrival times) widens to `L`
+    /// interleaved lanes, so one request's lanes share a cache line and
+    /// the node decode + dispatch cost is paid once for all `L` points.
+    fn stream_lanes<const L: usize, const FACTORED: bool>(
+        &self,
+        o_send: SimTime,
+        o_recv: SimTime,
+        pc: Option<&PointCosts>,
+        ctx: &mut EvalCtx,
+        out: &mut Vec<SimResult>,
+    ) {
+        // The lane loops are pure u64 add/max/select chains — exactly
+        // what 4- and 8-wide integer SIMD eats — but the portable
+        // baseline build can't use those instructions. Compile the
+        // kernel three times and pick the widest ISA the CPU reports;
+        // every path runs the same integer arithmetic, so results stay
+        // bit-identical across the dispatch.
+        #[cfg(target_arch = "x86_64")]
+        {
+            // `HPCSIM_ISA=avx2|scalar` caps the dispatch below what the
+            // CPU reports — an escape hatch for parts that downclock
+            // under 512-bit vectors (results are bit-identical either
+            // way, only throughput changes).
+            static ISA: std::sync::OnceLock<u8> = std::sync::OnceLock::new();
+            let isa = *ISA.get_or_init(|| match std::env::var("HPCSIM_ISA").as_deref() {
+                Ok("scalar") => 0,
+                Ok("avx2") if std::is_x86_feature_detected!("avx2") => 1,
+                _ => {
+                    if std::is_x86_feature_detected!("avx512f")
+                        && std::is_x86_feature_detected!("avx512dq")
+                        && std::is_x86_feature_detected!("avx512bw")
+                        && std::is_x86_feature_detected!("avx512vl")
+                    {
+                        2
+                    } else if std::is_x86_feature_detected!("avx2") {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            });
+            if isa == 2 {
+                // SAFETY: the matching CPU features were detected above.
+                return unsafe {
+                    self.stream_lanes_avx512::<L, FACTORED>(o_send, o_recv, pc, ctx, out)
+                };
+            }
+            if isa == 1 {
+                // SAFETY: the matching CPU features were detected above.
+                return unsafe {
+                    self.stream_lanes_avx2::<L, FACTORED>(o_send, o_recv, pc, ctx, out)
+                };
+            }
+        }
+        self.stream_lanes_impl::<L, FACTORED>(o_send, o_recv, pc, ctx, out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+    unsafe fn stream_lanes_avx512<const L: usize, const FACTORED: bool>(
+        &self,
+        o_send: SimTime,
+        o_recv: SimTime,
+        pc: Option<&PointCosts>,
+        ctx: &mut EvalCtx,
+        out: &mut Vec<SimResult>,
+    ) {
+        self.stream_lanes_impl::<L, FACTORED>(o_send, o_recv, pc, ctx, out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn stream_lanes_avx2<const L: usize, const FACTORED: bool>(
+        &self,
+        o_send: SimTime,
+        o_recv: SimTime,
+        pc: Option<&PointCosts>,
+        ctx: &mut EvalCtx,
+        out: &mut Vec<SimResult>,
+    ) {
+        self.stream_lanes_impl::<L, FACTORED>(o_send, o_recv, pc, ctx, out)
+    }
+
+    #[inline(always)]
+    fn stream_lanes_impl<const L: usize, const FACTORED: bool>(
+        &self,
+        o_send: SimTime,
+        o_recv: SimTime,
+        pc: Option<&PointCosts>,
+        ctx: &mut EvalCtx,
+        out: &mut Vec<SimResult>,
+    ) {
+        let n = self.ranks;
+        let EvalCtx {
+            req_msg,
+            req_chan,
+            inst_arrived,
+            lane_chan,
+            chan_copy,
+            chan_eager,
+            lane_compute,
+            lane_coll,
+            lane_delay,
+            lane_inv_bw,
+            lane_hop_scale,
+            lane_coll_scale,
+            lane_req_val,
+            lane_msg_arrive,
+            lane_msg_post_rs,
+            lane_msg_post_clk,
+            lane_run_start,
+            lane_inst_latest,
+            ..
+        } = &mut *ctx;
+        // Factored (perturbed) batches read the structural per-channel
+        // tables straight off the base point; mapping batches priced
+        // them into the ctx copies.
+        let (chan_copy, chan_eager): (&[SimTime], &[bool]) = match pc {
+            Some(p) => (&p.chan_copy, &p.chan_eager),
+            None => (chan_copy, chan_eager),
         };
+        // Per-lane factors as fixed arrays: indexing the ctx `Vec`s
+        // directly would re-prove bounds per lane inside the hot loops,
+        // which blocks their vectorization.
+        let f_delay: [f64; L] = *lanes(lane_delay, 0);
+        let (f_inv_bw, f_hop, f_coll): ([f64; L], [f64; L], [f64; L]) = if FACTORED {
+            (*lanes(lane_inv_bw, 0), *lanes(lane_hop_scale, 0), *lanes(lane_coll_scale, 0))
+        } else {
+            ([1.0; L], [1.0; L], [1.0; L])
+        };
+        // Batch-level delta re-pricing: a sensitivity battery feeds
+        // whole chunks from one parameter group, so the other groups'
+        // factors are 1.0 across every lane — those arms then skip the
+        // per-lane float scaling entirely and broadcast base bits.
+        let id_link = f_inv_bw == [1.0; L] && f_hop == [1.0; L];
+        let id_comp = f_delay == [1.0; L];
+        let id_coll = f_coll == [1.0; L];
 
         // Per-batch state; same no-reset invariant as the scalar pass
         // for the request/message scratch (every slot read was written
         // earlier in the same pass).
         let mut clock = vec![SimTime::ZERO; n * L];
         let mut busy = vec![SimTime::ZERO; n * L];
-        let mut marks: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); n * L];
+        // allocated lazily: most DAGs carry no marks, and the n·L
+        // scratch plus its per-lane de-interleave is pure overhead then
+        let mut marks: Vec<Vec<(u32, SimTime)>> = Vec::new();
         lane_run_start.clear();
         lane_run_start.resize(n * L, SimTime::ZERO);
         let nreq = self.req_base[n] as usize;
@@ -1298,7 +1818,8 @@ impl TraceDag {
         let nm = self.n_msgs as usize;
         if lane_msg_arrive.len() < nm * L {
             lane_msg_arrive.resize(nm * L, SimTime::MAX);
-            lane_msg_post.resize(nm * L, (SimTime::MAX, SimTime::MAX));
+            lane_msg_post_rs.resize(nm * L, SimTime::MAX);
+            lane_msg_post_clk.resize(nm * L, SimTime::MAX);
         }
         inst_arrived.clear();
         inst_arrived.resize(self.insts.len(), 0);
@@ -1318,80 +1839,144 @@ impl TraceDag {
             for node in &self.stream[si..si + len as usize] {
                 match *node {
                     Node::Compute { cost } => {
-                        let (work, threads) = self.compute_costs[cost as usize];
-                        let t = mc.node_model.time(&work, cfg0.mode, threads);
-                        for l in 0..L {
-                            clk[l] += t;
-                            bz[l] += t;
+                        if FACTORED {
+                            // compute cost is layout-independent: one
+                            // base value, scaled per lane in registers
+                            let t = pc.unwrap().compute[cost as usize];
+                            if id_comp {
+                                for l in 0..L {
+                                    clk[l] = clk[l].saturating_add(t);
+                                    bz[l] = bz[l].saturating_add(t);
+                                }
+                            } else {
+                                for l in 0..L {
+                                    let c = scale_ps(t, f_delay[l]);
+                                    clk[l] = clk[l].saturating_add(c);
+                                    bz[l] = bz[l].saturating_add(c);
+                                }
+                            }
+                        } else {
+                            let c = lanes::<L, _>(lane_compute, cost as usize * L);
+                            for l in 0..L {
+                                clk[l] = clk[l].saturating_add(c[l]);
+                                bz[l] = bz[l].saturating_add(c[l]);
+                            }
                         }
                     }
                     Node::Delay { time } => {
-                        for l in 0..L {
-                            clk[l] += time;
-                            bz[l] += time;
+                        if id_comp {
+                            for l in 0..L {
+                                clk[l] = clk[l].saturating_add(time);
+                                bz[l] = bz[l].saturating_add(time);
+                            }
+                        } else {
+                            for l in 0..L {
+                                let t = scale_ps(time, f_delay[l]);
+                                clk[l] = clk[l].saturating_add(t);
+                                bz[l] = bz[l].saturating_add(t);
+                            }
                         }
                     }
                     Node::Send { chan, msg, req } => {
-                        let cb = chan as usize * L;
-                        let eager = chan_eager[chan as usize];
-                        let ri = (rb + req as usize) * L;
-                        for l in 0..L {
-                            clk[l] += o_send;
-                            let (wire, rdv) = lane_chan[cb + l];
-                            let arrive = clk[l] + rdv + wire;
-                            lane_req_val[ri + l] = if eager { clk[l] } else { arrive };
-                            if msg != NONE {
-                                lane_msg_arrive[msg as usize * L + l] = arrive;
+                        let ci = chan as usize;
+                        let eager = chan_eager[ci];
+                        let rv = lanes_mut::<L, _>(lane_req_val, (rb + req as usize) * L);
+                        let mut arrive = [SimTime::ZERO; L];
+                        if FACTORED {
+                            let p = pc.unwrap();
+                            if p.chan_on[ci] || id_link {
+                                // shared-memory path (link parameters
+                                // don't price it) or a batch that
+                                // leaves the link untouched: base bits
+                                let (wire, rdv) = p.chan_wire[ci];
+                                for l in 0..L {
+                                    clk[l] = clk[l].saturating_add(o_send);
+                                    arrive[l] = clk[l].saturating_add(rdv).saturating_add(wire);
+                                    rv[l] = if eager { clk[l] } else { arrive[l] };
+                                }
+                            } else {
+                                let hop = p.chan_hop[ci];
+                                let serial = p.chan_serial[ci];
+                                let hs_off = p.hs_off;
+                                for l in 0..L {
+                                    clk[l] = clk[l].saturating_add(o_send);
+                                    let h = scale_ps(hop, f_hop[l]);
+                                    let wire =
+                                        h.saturating_add(scale_ps(serial, f_inv_bw[l]));
+                                    let rdv = if eager {
+                                        SimTime::ZERO
+                                    } else {
+                                        h.saturating_add(hs_off)
+                                    };
+                                    arrive[l] = clk[l].saturating_add(rdv).saturating_add(wire);
+                                    rv[l] = if eager { clk[l] } else { arrive[l] };
+                                }
                             }
+                        } else {
+                            let ch = lanes::<L, _>(lane_chan, ci * L);
+                            for l in 0..L {
+                                clk[l] = clk[l].saturating_add(o_send);
+                                let (wire, rdv) = ch[l];
+                                arrive[l] = clk[l].saturating_add(rdv).saturating_add(wire);
+                                rv[l] = if eager { clk[l] } else { arrive[l] };
+                            }
+                        }
+                        if msg != NONE {
+                            lanes_mut::<L, _>(lane_msg_arrive, msg as usize * L)
+                                .copy_from_slice(&arrive);
                         }
                     }
                     Node::Recv { chan, msg, req } => {
                         let ri0 = rb + req as usize;
                         req_msg[ri0] = msg;
                         req_chan[ri0] = chan;
-                        let ri = ri0 * L;
+                        let rv = lanes_mut::<L, _>(lane_req_val, ri0 * L);
                         for l in 0..L {
-                            clk[l] += o_recv;
-                            lane_req_val[ri + l] = SimTime::MAX;
-                            if msg != NONE {
-                                lane_msg_post[msg as usize * L + l] = (rs[l], clk[l]);
-                            }
+                            clk[l] = clk[l].saturating_add(o_recv);
+                            rv[l] = SimTime::MAX;
+                        }
+                        if msg != NONE {
+                            lanes_mut::<L, _>(lane_msg_post_rs, msg as usize * L)
+                                .copy_from_slice(&rs);
+                            lanes_mut::<L, _>(lane_msg_post_clk, msg as usize * L)
+                                .copy_from_slice(&clk);
                         }
                     }
                     Node::Wait { req } => {
                         let ri0 = rb + req as usize;
-                        let ri = ri0 * L;
                         // resolved-vs-pending is structural (a send
                         // request, or a receive already waited), so
                         // lane 0 decides for the batch
-                        if lane_req_val[ri] != SimTime::MAX {
+                        if lane_req_val[ri0 * L] != SimTime::MAX {
+                            let rv = lanes::<L, _>(lane_req_val, ri0 * L);
+                            // unconditional blended stores, not masked
+                            // stores: a masked store to `clk` defeats
+                            // store-to-load forwarding and the very
+                            // next node reloads `clk` from the stack
                             for l in 0..L {
-                                let val = lane_req_val[ri + l];
-                                if val > clk[l] {
-                                    clk[l] = val;
-                                }
+                                clk[l] = clk[l].max(rv[l]);
                             }
                             continue;
                         }
                         let m = req_msg[ri0] as usize * L;
                         let copy = chan_copy[req_chan[ri0] as usize];
+                        let ma = lanes::<L, _>(lane_msg_arrive, m);
+                        let mp_rs = lanes::<L, _>(lane_msg_post_rs, m);
+                        let mp_clk = lanes::<L, _>(lane_msg_post_clk, m);
+                        let rv = lanes_mut::<L, _>(lane_req_val, ri0 * L);
+                        // branchless per lane, all stores unconditional:
+                        // conditional (masked) stores to `rs`/`clk` stall
+                        // the reload in the next node
                         for l in 0..L {
-                            let a = lane_msg_arrive[m + l];
-                            let (post_rs, post_clock) = lane_msg_post[m + l];
+                            let a = ma[l];
                             // unexpected iff the arrival popped before
                             // the receive's run began (per lane)
-                            let done = if a < post_rs {
-                                post_clock + copy
-                            } else {
-                                if a > rs[l] {
-                                    rs[l] = a;
-                                }
-                                a
-                            };
-                            lane_req_val[ri + l] = done;
-                            if done > clk[l] {
-                                clk[l] = done;
-                            }
+                            let unexpected = a < mp_rs[l];
+                            let copied = mp_clk[l].saturating_add(copy);
+                            let done = if unexpected { copied } else { a };
+                            rs[l] = if unexpected { rs[l] } else { rs[l].max(a) };
+                            rv[l] = done;
+                            clk[l] = clk[l].max(done);
                         }
                         req_msg[ri0] = NONE;
                     }
@@ -1399,9 +1984,10 @@ impl TraceDag {
                         let i = inst as usize;
                         inst_arrived[i] += 1;
                         let il = i * L;
-                        for l in 0..L {
-                            if clk[l] > lane_inst_latest[il + l] {
-                                lane_inst_latest[il + l] = clk[l];
+                        {
+                            let latest = lanes_mut::<L, _>(lane_inst_latest, il);
+                            for l in 0..L {
+                                latest[l] = latest[l].max(clk[l]);
                             }
                         }
                         let spec = self.insts[i];
@@ -1411,19 +1997,40 @@ impl TraceDag {
                         }
                         let cb = spec.cost as usize * L;
                         clock[r * L..r * L + L].copy_from_slice(&clk);
-                        for &mr in members {
-                            for l in 0..L {
-                                let done = lane_inst_latest[il + l] + lane_coll_dur[cb + l];
-                                if done > clock[mr * L + l] {
-                                    clock[mr * L + l] = done;
+                        let latest = lanes::<L, _>(lane_inst_latest, il);
+                        let mut done = [SimTime::ZERO; L];
+                        if FACTORED {
+                            let t = pc.unwrap().coll[spec.cost as usize];
+                            if id_coll {
+                                for l in 0..L {
+                                    done[l] = latest[l].saturating_add(t);
                                 }
-                                lane_run_start[mr * L + l] = done;
+                            } else {
+                                for l in 0..L {
+                                    done[l] = latest[l].saturating_add(scale_ps(t, f_coll[l]));
+                                }
+                            }
+                        } else {
+                            let cost = lanes::<L, _>(lane_coll, cb);
+                            for l in 0..L {
+                                done[l] = latest[l].saturating_add(cost[l]);
+                            }
+                        }
+                        for &mr in members {
+                            let cl = lanes_mut::<L, _>(&mut clock, mr * L);
+                            let st = lanes_mut::<L, _>(lane_run_start, mr * L);
+                            for l in 0..L {
+                                cl[l] = cl[l].max(done[l]);
+                                st[l] = done[l];
                             }
                         }
                         clk.copy_from_slice(&clock[r * L..r * L + L]);
                         rs.copy_from_slice(&lane_run_start[r * L..r * L + L]);
                     }
                     Node::Mark { id } => {
+                        if marks.is_empty() {
+                            marks.resize(n * L, Vec::new());
+                        }
                         for l in 0..L {
                             marks[r * L + l].push((id, clk[l]));
                         }
@@ -1443,7 +2050,11 @@ impl TraceDag {
                 busy: (0..n).map(|r| busy[r * L + l]).collect(),
                 bytes_sent: self.total_bytes,
                 messages: self.total_msgs,
-                marks: (0..n).map(|r| std::mem::take(&mut marks[r * L + l])).collect(),
+                marks: if marks.is_empty() {
+                    vec![Vec::new(); n]
+                } else {
+                    (0..n).map(|r| std::mem::take(&mut marks[r * L + l])).collect()
+                },
             });
         }
     }
@@ -1653,6 +2264,74 @@ mod tests {
         assert_eq!(s.channels, 1);
         assert_eq!(s.collectives, 1);
         assert_eq!(s.edges, 4 + 1 + 4); // program order + message + coll in/out
+    }
+
+    /// A ring exchange with a collective and marks — touches every
+    /// cost group — compiled once for the perturbation tests.
+    fn perturb_fixture() -> (TraceDag, SimConfig) {
+        let prog = FnProgram(|mpi: &mut Mpi| {
+            let next = (mpi.rank() + 1) % mpi.size();
+            let prev = (mpi.rank() + mpi.size() - 1) % mpi.size();
+            mpi.delay(SimTime::from_us(3));
+            mpi.sendrecv(next, 0, 65_536, prev, 0, 65_536);
+            mpi.mark(1);
+            mpi.allreduce(crate::ops::CommId::WORLD, 8, DType::F64);
+        });
+        let machine = bluegene_p().with_flat_contention();
+        let traces = TraceSim::trace_program(&prog, 64, 1);
+        let dag = TraceDag::compile_world(&traces);
+        let cfg = SimConfig::new(machine, 64, ExecMode::Vn);
+        (dag, cfg)
+    }
+
+    #[test]
+    fn identity_perturbation_is_bit_identical() {
+        let (dag, cfg) = perturb_fixture();
+        let base = dag.evaluate(&cfg);
+        // every dispatch shape: scalar, padded narrow, full narrow,
+        // wide + remainder
+        for k in [1usize, 3, 8, 33, 40] {
+            let res = dag.evaluate_perturbed(&cfg, &vec![Perturbation::IDENTITY; k]);
+            assert_eq!(res.len(), k);
+            for r in &res {
+                assert_eq!(r.finish, base.finish, "batch of {k}");
+                assert_eq!(r.busy, base.busy);
+                assert_eq!(r.marks, base.marks);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_results_are_batch_invariant() {
+        use hpcsim_machine::{PerturbSpec, PerturbationSampler};
+        let (dag, cfg) = perturb_fixture();
+        let sampler = PerturbationSampler::new(11, PerturbSpec::default());
+        let mut samples: Vec<Perturbation> = (0..45).map(|i| sampler.sample(i)).collect();
+        samples[7] = Perturbation::IDENTITY; // mix an identity lane in
+        let batched = dag.evaluate_perturbed(&cfg, &samples);
+        for (i, s) in samples.iter().enumerate() {
+            let single = dag.evaluate_perturbed(&cfg, std::slice::from_ref(s));
+            assert_eq!(batched[i].finish, single[0].finish, "sample {i}");
+            assert_eq!(batched[i].busy, single[0].busy, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn perturbations_move_costs_the_right_way() {
+        let (dag, cfg) = perturb_fixture();
+        let base = dag.evaluate(&cfg).makespan();
+        let slower = [
+            Perturbation { bw_scale: 0.5, ..Perturbation::IDENTITY },
+            Perturbation { hop_scale: 2.0, ..Perturbation::IDENTITY },
+            Perturbation { compute_scale: 2.0, ..Perturbation::IDENTITY },
+            Perturbation { coll_scale: 2.0, ..Perturbation::IDENTITY },
+        ];
+        for (i, r) in dag.evaluate_perturbed(&cfg, &slower).iter().enumerate() {
+            assert!(r.makespan() > base, "slowdown sample {i} must cost more");
+        }
+        let faster = Perturbation { bw_scale: 2.0, hop_scale: 0.5, ..Perturbation::IDENTITY };
+        let r = &dag.evaluate_perturbed(&cfg, &[faster])[0];
+        assert!(r.makespan() < base, "a faster network must cost less");
     }
 
     #[test]

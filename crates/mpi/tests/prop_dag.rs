@@ -163,6 +163,42 @@ proptest! {
         assert_exact(&replay, &dag.evaluate(&cfg));
     }
 
+    /// A zero-perturbation sample inside a batched Monte-Carlo pass is
+    /// bit-identical to the single-point `evaluate_many` result, at
+    /// every batch shape (scalar tail, padded narrow batch, wide
+    /// batch), and perturbed lanes are batch-invariant: the batched
+    /// result equals evaluating each sample on its own.
+    #[test]
+    fn zero_perturbation_is_bit_identical_in_batches(
+        n in 2usize..24,
+        n_rounds in 1usize..4,
+        seed: u64,
+        batch in 1usize..40,
+    ) {
+        use hpcsim_machine::{Perturbation, PerturbSpec, PerturbationSampler};
+        let spec = Arc::new(rounds(n, n_rounds, seed));
+        let prog = FnProgram(round_program(Arc::clone(&spec)));
+        let traces = TraceSim::trace_program(&prog, n, 1);
+        let dag = TraceDag::compile_world(&traces);
+        let cfg = SimConfig::new(bluegene_p().with_flat_contention(), n, ExecMode::Vn);
+        let base = &dag.evaluate_many(std::slice::from_ref(&cfg))[0];
+        let sampler = PerturbationSampler::new(seed ^ 0x9e37_79b9, PerturbSpec::default());
+        let mut samples: Vec<Perturbation> =
+            (0..batch as u64).map(|i| sampler.sample(i)).collect();
+        // pin a zero-perturbation lane somewhere inside the batch
+        let zero_at = (seed % batch as u64) as usize;
+        samples[zero_at] = Perturbation::IDENTITY;
+        let batched = dag.evaluate_perturbed(&cfg, &samples);
+        prop_assert_eq!(batched.len(), samples.len());
+        assert_exact(base, &batched[zero_at]);
+        for (i, s) in samples.iter().enumerate() {
+            let single = &dag.evaluate_perturbed(&cfg, std::slice::from_ref(s))[0];
+            assert_eq!(single.finish, batched[i].finish, "sample {i} batch-variant");
+            assert_eq!(single.busy, batched[i].busy, "sample {i} batch-variant");
+            assert_eq!(single.marks, batched[i].marks, "sample {i} batch-variant");
+        }
+    }
+
     /// Compilation and evaluation are deterministic: two compiles of the
     /// same trace produce identical results and identical stats.
     #[test]
