@@ -52,6 +52,7 @@ fn usage() -> ! {
          [--trace] [--trace-out FILE] [--metrics-out FILE] \
          [--faults SEED] [--fault-profile link|noise|loss|mixed] \
          [--obs-out FILE | --no-obs] [--log-level quiet|info|debug] [--sensitivity SEED] \
+         [--fuzz] [--fuzz-seed SEED] [--fuzz-iters N] [--fuzz-promote DIR] \
          all|table1|table2|fig1|fig2|fig3|top500|fig4|fig5|fig6|fig7|fig8|table3|ablations ..."
     );
     std::process::exit(2);
@@ -107,7 +108,9 @@ fn main() {
     if !flags.no_obs {
         obs::set_enabled(true);
     }
-    if flags.positional.is_empty() {
+    // `repro --fuzz` with no experiment slugs is a valid run: the fuzz
+    // battery is self-contained.
+    if flags.positional.is_empty() && !flags.fuzz {
         usage();
     }
     if let Some(n) = flags.jobs {
@@ -202,6 +205,13 @@ fn main() {
             name: "resilience".to_string(),
             seconds: start.elapsed().as_secs_f64(),
         });
+    }
+
+    if flags.fuzz {
+        let start = Instant::now();
+        battery_ok &= run_fuzz_battery(&flags);
+        timings
+            .push(PhaseTiming { name: "fuzz".to_string(), seconds: start.elapsed().as_secs_f64() });
     }
 
     let mut sens_stats: Option<hpcsim_core::SensitivityStats> = None;
@@ -385,6 +395,90 @@ fn run_resilience(flags: &RunFlags, scale: Scale) -> bool {
         log_error!("# resilience: scenario {} ({}) failed: {}", e.index, e.label, e.message);
     }
     report.all_ok()
+}
+
+/// Run the coverage-guided fuzz battery: a deterministic campaign from
+/// `(--fuzz-seed, --fuzz-iters)`, corpus artifacts under
+/// `OUT/fuzz_corpus/`, minimized findings under `OUT/fuzz_findings/`,
+/// and optionally promoted regression files (`--fuzz-promote DIR`).
+///
+/// The campaign summary prints as *plain* stdout lines (not
+/// `# `-prefixed): it is part of the deterministic output contract and
+/// CI byte-diffs it across `--jobs 1` and `--jobs 4`. Returns false
+/// iff the campaign is dirty — an unminimized finding or a missed
+/// canary (see `FuzzReport::ok`).
+fn run_fuzz_battery(flags: &RunFlags) -> bool {
+    let cfg = hpcsim_fuzz::FuzzConfig {
+        seed: flags.fuzz_seed.unwrap_or(42),
+        iters: flags.fuzz_iters.unwrap_or(256),
+        ..Default::default()
+    };
+    let report = hpcsim_fuzz::run_fuzz(&cfg);
+    print!("{}", report.summary());
+
+    let corpus_dir = flags.out.join("fuzz_corpus");
+    let _ = std::fs::create_dir_all(&corpus_dir);
+    let mut manifest = String::new();
+    for (i, entry) in report.corpus.iter().enumerate() {
+        let name = format!("{i:04}-{}.fuzz", entry.hash);
+        if let Err(e) = std::fs::write(corpus_dir.join(&name), entry.scenario.to_canon()) {
+            log_warn!("# fuzz: corpus write failed: {e}");
+        }
+        manifest.push_str(&format!(
+            "{name} {} iter {} new-features {}\n",
+            entry.outcome.label(),
+            entry.iteration,
+            entry.new_features
+        ));
+    }
+    if let Err(e) = std::fs::write(corpus_dir.join("MANIFEST.txt"), &manifest) {
+        log_warn!("# fuzz: corpus manifest write failed: {e}");
+    }
+    println!("# fuzz: {} corpus file(s) in {}", report.corpus.len(), corpus_dir.display());
+
+    let findings_dir = flags.out.join("fuzz_findings");
+    let _ = std::fs::create_dir_all(&findings_dir);
+    let mut fmanifest = String::new();
+    for f in &report.findings {
+        let name = format!(
+            "{}{}.fuzz",
+            f.kind.label(),
+            if f.canary { "-canary" } else { "" }
+        );
+        if let Err(e) = std::fs::write(findings_dir.join(&name), f.scenario.to_canon()) {
+            log_warn!("# fuzz: finding write failed: {e}");
+        }
+        fmanifest.push_str(&format!("{name} {} ops {}\n", f.kind.label(), f.scenario.total_ops()));
+    }
+    if let Err(e) = std::fs::write(findings_dir.join("MANIFEST.txt"), &fmanifest) {
+        log_warn!("# fuzz: findings manifest write failed: {e}");
+    }
+    println!("# fuzz: {} finding(s) in {}", report.findings.len(), findings_dir.display());
+
+    if let Some(dir) = &flags.fuzz_promote {
+        let _ = std::fs::create_dir_all(dir);
+        let mut pmanifest = String::new();
+        for f in &report.findings {
+            let name = format!(
+                "{}{}.fuzz",
+                f.kind.label(),
+                if f.canary { "-canary" } else { "" }
+            );
+            if let Err(e) = std::fs::write(dir.join(&name), f.scenario.to_canon()) {
+                log_warn!("# fuzz: promote write failed: {e}");
+            }
+            pmanifest.push_str(&format!("{name} {}\n", f.kind.label()));
+        }
+        if let Err(e) = std::fs::write(dir.join("MANIFEST.txt"), &pmanifest) {
+            log_warn!("# fuzz: promote manifest write failed: {e}");
+        }
+        println!("# fuzz: promoted {} regression(s) to {}", report.findings.len(), dir.display());
+    }
+
+    if !report.ok() {
+        log_error!("# fuzz: campaign dirty (unminimized finding or missed canary)");
+    }
+    report.ok()
 }
 
 /// Run the Monte-Carlo sensitivity battery from the given seed: print

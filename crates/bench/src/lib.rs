@@ -82,6 +82,21 @@ pub struct RunFlags {
     /// skips the battery (the `--bench-json` report still runs it with
     /// seed 42 for the schema-v6 `sensitivity` entry).
     pub sensitivity: Option<u64>,
+    /// `--fuzz`: run the coverage-guided adversarial fuzz battery after
+    /// the selected experiments (which may be empty — `repro --fuzz`
+    /// alone is valid). Corpus and findings land under
+    /// `OUT/fuzz_corpus/` and `OUT/fuzz_findings/`.
+    pub fuzz: bool,
+    /// `--fuzz-seed SEED`: campaign root seed (default 42). Requires
+    /// `--fuzz`.
+    pub fuzz_seed: Option<u64>,
+    /// `--fuzz-iters N`: candidate budget (default 256). Requires
+    /// `--fuzz`.
+    pub fuzz_iters: Option<u64>,
+    /// `--fuzz-promote DIR`: additionally write each minimized finding
+    /// into DIR as a regression `.fuzz` file plus a `MANIFEST.txt`
+    /// entry (used to seed `tests/corpus/`). Requires `--fuzz`.
+    pub fuzz_promote: Option<PathBuf>,
     /// Remaining positional args (experiment slugs).
     pub positional: Vec<String>,
 }
@@ -126,6 +141,10 @@ impl RunFlags {
             no_obs: false,
             log_level: None,
             sensitivity: None,
+            fuzz: false,
+            fuzz_seed: None,
+            fuzz_iters: None,
+            fuzz_promote: None,
             positional: Vec::new(),
         };
         let mut i = 0;
@@ -194,6 +213,27 @@ impl RunFlags {
                         format!("--sensitivity: expected an unsigned integer seed, got {v:?}")
                     })?);
                 }
+                "--fuzz" => flags.fuzz = true,
+                "--fuzz-seed" => {
+                    let v = take_value(args, &mut i, "--fuzz-seed")?;
+                    flags.fuzz_seed = Some(v.parse::<u64>().map_err(|_| {
+                        format!("--fuzz-seed: expected an unsigned integer seed, got {v:?}")
+                    })?);
+                }
+                "--fuzz-iters" => {
+                    let v = take_value(args, &mut i, "--fuzz-iters")?;
+                    let n = v.parse::<u64>().map_err(|_| {
+                        format!("--fuzz-iters: expected a positive iteration count, got {v:?}")
+                    })?;
+                    if n == 0 {
+                        return Err("--fuzz-iters: iteration count must be positive".to_string());
+                    }
+                    flags.fuzz_iters = Some(n);
+                }
+                "--fuzz-promote" => {
+                    flags.fuzz_promote =
+                        Some(PathBuf::from(take_value(args, &mut i, "--fuzz-promote")?));
+                }
                 "--log-level" => {
                     let v = take_value(args, &mut i, "--log-level")?;
                     if !LOG_LEVELS.contains(&v.as_str()) {
@@ -219,6 +259,17 @@ impl RunFlags {
         }
         if flags.obs_out.is_some() && flags.no_obs {
             return Err("--obs-out conflicts with --no-obs".to_string());
+        }
+        if !flags.fuzz {
+            if flags.fuzz_seed.is_some() {
+                return Err("--fuzz-seed requires --fuzz".to_string());
+            }
+            if flags.fuzz_iters.is_some() {
+                return Err("--fuzz-iters requires --fuzz".to_string());
+            }
+            if flags.fuzz_promote.is_some() {
+                return Err("--fuzz-promote requires --fuzz".to_string());
+            }
         }
         Ok(flags)
     }

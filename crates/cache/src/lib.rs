@@ -35,7 +35,10 @@ pub mod spec;
 pub mod store;
 
 pub use eval::{evaluate_in, EvalError};
-pub use spec::{fnv1a_128, FaultSpec, ProgramSpec, ScenarioSpec, SpecHash, SpecParseError};
+pub use spec::{
+    fnv1a_128, machine_from_canon, machine_to_canon, FaultSpec, ProgramSpec, ScenarioSpec,
+    SpecHash, SpecParseError,
+};
 pub use store::{CacheConfig, CacheStats, ScenarioCache, TraceEntry};
 
 use std::sync::{Arc, Mutex, OnceLock};

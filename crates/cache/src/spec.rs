@@ -297,6 +297,31 @@ impl ScenarioSpec {
     }
 }
 
+/// Render a machine's canonical lines (machine/core/mem/nic/pack/power)
+/// standalone, exactly as they appear inside [`ScenarioSpec::to_canon`].
+/// The fuzz corpus embeds machines this way so corpus entries round-trip
+/// through the same exact bit-level form the scenario cache hashes.
+pub fn machine_to_canon(m: &MachineSpec) -> String {
+    let mut out = String::with_capacity(384);
+    let mut c = m.clone();
+    c.core.name = "";
+    write_machine(&mut out, &c);
+    out
+}
+
+/// Parse machine canonical lines produced by [`machine_to_canon`]
+/// (`core.name` comes back empty, as in [`ScenarioSpec::parse`]).
+pub fn machine_from_canon(text: &str) -> Result<MachineSpec, SpecParseError> {
+    let mut lines = Lines { iter: text.lines(), line: 0 };
+    let m = parse_machine(&mut lines)?;
+    for (line, extra) in (lines.line + 1..).zip(lines.iter) {
+        if !extra.trim().is_empty() {
+            return Err(SpecParseError { line, message: format!("trailing content {extra:?}") });
+        }
+    }
+    Ok(m)
+}
+
 fn push_bits(out: &mut String, v: f64) {
     let _ = write!(out, " 0x{:016x}", v.to_bits());
 }
@@ -926,6 +951,18 @@ mod tests {
         // corrupt a float into a decimal
         let bad = good.replace("0x", "zz");
         assert!(ScenarioSpec::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn machine_canon_round_trips_standalone() {
+        for m in [bluegene_p(), xt4_dc(), bluegene_p().with_flat_contention()] {
+            let canon = machine_to_canon(&m);
+            let parsed = machine_from_canon(&canon).expect("machine parse");
+            assert_eq!(machine_to_canon(&parsed), canon);
+        }
+        assert!(machine_from_canon("garbage\n").is_err());
+        let canon = machine_to_canon(&bluegene_p());
+        assert!(machine_from_canon(&format!("{canon}extra\n")).is_err());
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl FaultProfile {
     pub fn parse(s: &str) -> Option<FaultProfile> {
         FaultProfile::all().into_iter().find(|p| p.label() == s)
     }
+
+    /// One step up the severity ladder: every single-ingredient profile
+    /// escalates to [`FaultProfile::Mixed`], which is already the top.
+    pub fn escalated(&self) -> FaultProfile {
+        FaultProfile::Mixed
+    }
 }
 
 // Sub-stream indices; fixed so the schedule never shifts when one
@@ -111,6 +117,41 @@ impl FaultPlan {
                 amplitude: if bluegene { BGP_NOISE_AMP } else { XT4_NOISE_AMP },
             }),
             _ => None,
+        }
+    }
+
+    /// The same schedule shape under a different seed.
+    pub fn with_seed(&self, seed: u64) -> FaultPlan {
+        FaultPlan { seed, profile: self.profile }
+    }
+
+    /// The same seed under a different profile.
+    pub fn with_profile(&self, profile: FaultProfile) -> FaultPlan {
+        FaultPlan { seed: self.seed, profile }
+    }
+
+    /// Escalate the profile one severity step (see
+    /// [`FaultProfile::escalated`]); the seed is kept so the surviving
+    /// ingredients draw the same faults they did before escalation.
+    pub fn escalated(&self) -> FaultPlan {
+        self.with_profile(self.profile.escalated())
+    }
+
+    /// Deterministic structure-aware mutation for fuzzing: `stream`
+    /// selects (via a stateless hash) whether to reseed, rotate the
+    /// profile, or escalate. The same `(plan, stream)` always yields the
+    /// same mutant, so a fuzz corpus entry replays identically from its
+    /// `(seed, iteration)` coordinates alone.
+    pub fn mutated(&self, stream: u64) -> FaultPlan {
+        let h = splitmix64(self.seed ^ splitmix64(stream));
+        match h % 3 {
+            0 => self.with_seed(split_seed(self.seed, stream)),
+            1 => {
+                let all = FaultProfile::all();
+                let cur = all.iter().position(|p| *p == self.profile).unwrap_or(0);
+                self.with_profile(all[(cur + 1 + (h / 3) as usize % (all.len() - 1)) % all.len()])
+            }
+            _ => self.escalated(),
         }
     }
 
@@ -298,6 +339,21 @@ mod tests {
                 assert_eq!(la.lost_attempts(rank, seq), lb.lost_attempts(rank, seq));
             }
         }
+    }
+
+    #[test]
+    fn mutation_api_is_deterministic_and_moves() {
+        let plan = FaultPlan::new(7, FaultProfile::Loss);
+        assert_eq!(plan.with_seed(9).seed(), 9);
+        assert_eq!(plan.with_seed(9).profile(), FaultProfile::Loss);
+        assert_eq!(plan.with_profile(FaultProfile::Link).seed(), 7);
+        assert_eq!(plan.escalated().profile(), FaultProfile::Mixed);
+        assert_eq!(plan.escalated().seed(), 7);
+        // same (plan, stream) → same mutant; some stream must change it
+        for stream in 0..16u64 {
+            assert_eq!(plan.mutated(stream), plan.mutated(stream));
+        }
+        assert!((0..16u64).any(|s| plan.mutated(s) != plan));
     }
 
     #[test]

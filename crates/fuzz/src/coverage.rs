@@ -1,0 +1,246 @@
+//! Coverage features derived from the replay engine's probe and
+//! diagnostic signals.
+//!
+//! Classic fuzzers count branch edges; this one counts *simulator
+//! states worth keeping*: match-queue high-water marks, retransmit
+//! totals, wait-time share, event-queue depth, DAG-engine fallback
+//! reasons and the replay outcome itself. Each signal is folded into a
+//! small bucket index (log2 for counters, deciles for shares, ordinals
+//! for enums), and a feature is the pair `(signal, bucket)` packed into
+//! a `u32`. A candidate earns a corpus slot only when it hits a feature
+//! no earlier candidate hit — the same novelty rule AFL-style fuzzers
+//! apply to edge counts.
+
+use std::collections::BTreeSet;
+
+/// Replay outcome classes — one coverage axis and the minimizer's
+/// preservation target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OutcomeKind {
+    /// Replay finished and (where applicable) matched the DAG oracle.
+    Ok,
+    /// Retransmit budget exhausted ([`hpcsim_mpi::SimError::Stalled`]).
+    Stalled,
+    /// Destination cut off by link outages.
+    Unreachable,
+    /// Step-budget watchdog tripped.
+    Livelock,
+    /// Ranks blocked with the event queue drained.
+    Deadlock,
+    /// Members disagreed on a collective sequence slot.
+    CollectiveMismatch,
+    /// Replay and DAG evaluation disagreed (differential oracle).
+    Divergence,
+    /// The engine panicked — always a finding, never expected.
+    Panic,
+}
+
+impl OutcomeKind {
+    /// All kinds, in ordinal order.
+    pub fn all() -> [OutcomeKind; 8] {
+        [
+            OutcomeKind::Ok,
+            OutcomeKind::Stalled,
+            OutcomeKind::Unreachable,
+            OutcomeKind::Livelock,
+            OutcomeKind::Deadlock,
+            OutcomeKind::CollectiveMismatch,
+            OutcomeKind::Divergence,
+            OutcomeKind::Panic,
+        ]
+    }
+
+    /// Stable label used in reports, manifests and regression files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::Stalled => "stalled",
+            OutcomeKind::Unreachable => "unreachable",
+            OutcomeKind::Livelock => "livelock",
+            OutcomeKind::Deadlock => "deadlock",
+            OutcomeKind::CollectiveMismatch => "collective-mismatch",
+            OutcomeKind::Divergence => "divergence",
+            OutcomeKind::Panic => "panic",
+        }
+    }
+
+    /// Parse a label back (manifest round-trip).
+    pub fn parse(s: &str) -> Option<OutcomeKind> {
+        OutcomeKind::all().into_iter().find(|k| k.label() == s)
+    }
+
+    /// Ordinal for feature packing.
+    pub fn ordinal(&self) -> u32 {
+        OutcomeKind::all().iter().position(|k| k == self).unwrap() as u32
+    }
+
+    /// Whether this outcome is a *finding* (a bug-shaped result worth
+    /// minimizing), as opposed to a diagnosed-by-design fault outcome.
+    /// Stalled/Unreachable under an armed fault plan are the resilience
+    /// model working as specified; everything else abnormal is a find.
+    pub fn is_finding(&self, faults_armed: bool) -> bool {
+        match self {
+            OutcomeKind::Ok => false,
+            OutcomeKind::Stalled | OutcomeKind::Unreachable => !faults_armed,
+            OutcomeKind::Livelock
+            | OutcomeKind::Deadlock
+            | OutcomeKind::CollectiveMismatch
+            | OutcomeKind::Divergence
+            | OutcomeKind::Panic => true,
+        }
+    }
+}
+
+/// Raw signals harvested from one replay (gauges are running maxima).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Signals {
+    /// Peak unexpected-arrival match-table depth.
+    pub arrived_hw: u64,
+    /// Peak posted-receive match-table depth.
+    pub posted_hw: u64,
+    /// Peak event-queue depth.
+    pub eventq_hw: u64,
+    /// Total lost transmission attempts.
+    pub retransmits: u64,
+    /// Dead torus links in the armed fault plan.
+    pub link_outages: u64,
+    /// Flow-counter release underflows (bookkeeping bug canary).
+    pub flow_underflows: u64,
+    /// Percent of rank-time spent in Wait/CollectiveWait (0..=100).
+    pub wait_share_pct: u64,
+    /// Makespan in microseconds (0 for failed replays).
+    pub makespan_us: u64,
+    /// DAG-engine applicability: 0 exact, 1 contention fallback,
+    /// 2 fault fallback.
+    pub dag_fallback: u8,
+    /// World size.
+    pub ranks: u64,
+}
+
+/// Signal indices for feature packing (kept dense and stable — these
+/// values are part of the corpus-identity contract).
+const SIG_ARRIVED: u32 = 0;
+const SIG_POSTED: u32 = 1;
+const SIG_EVENTQ: u32 = 2;
+const SIG_RETRANS: u32 = 3;
+const SIG_OUTAGES: u32 = 4;
+const SIG_UNDERFLOW: u32 = 5;
+const SIG_WAIT_SHARE: u32 = 6;
+const SIG_MAKESPAN: u32 = 7;
+const SIG_FALLBACK: u32 = 8;
+const SIG_RANKS: u32 = 9;
+const SIG_OUTCOME: u32 = 10;
+
+/// log2 bucket: 0 → 0, otherwise 1 + floor(log2(v)).
+fn log2_bucket(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+fn feature(signal: u32, bucket: u32) -> u32 {
+    (signal << 8) | (bucket & 0xff)
+}
+
+/// Expand one replay's signals into its feature set.
+pub fn features(sig: &Signals, outcome: OutcomeKind) -> Vec<u32> {
+    vec![
+        feature(SIG_ARRIVED, log2_bucket(sig.arrived_hw)),
+        feature(SIG_POSTED, log2_bucket(sig.posted_hw)),
+        feature(SIG_EVENTQ, log2_bucket(sig.eventq_hw)),
+        feature(SIG_RETRANS, log2_bucket(sig.retransmits)),
+        feature(SIG_OUTAGES, log2_bucket(sig.link_outages)),
+        feature(SIG_UNDERFLOW, log2_bucket(sig.flow_underflows)),
+        feature(SIG_WAIT_SHARE, (sig.wait_share_pct / 10).min(10) as u32),
+        feature(SIG_MAKESPAN, log2_bucket(sig.makespan_us)),
+        feature(SIG_FALLBACK, sig.dag_fallback as u32),
+        feature(SIG_RANKS, sig.ranks as u32),
+        feature(SIG_OUTCOME, outcome.ordinal()),
+    ]
+}
+
+/// The global coverage map: the set of features any corpus entry hit.
+#[derive(Debug, Default, Clone)]
+pub struct CoverageMap {
+    hit: BTreeSet<u32>,
+}
+
+impl CoverageMap {
+    /// Fold a candidate's features in; returns how many were new.
+    pub fn add_all(&mut self, feats: &[u32]) -> usize {
+        feats.iter().filter(|f| self.hit.insert(**f)).count()
+    }
+
+    /// Whether any of `feats` is unseen (non-mutating novelty probe).
+    pub fn any_new(&self, feats: &[u32]) -> bool {
+        feats.iter().any(|f| !self.hit.contains(f))
+    }
+
+    /// Distinct features hit so far.
+    pub fn len(&self) -> usize {
+        self.hit.len()
+    }
+
+    /// True when nothing has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.hit.is_empty()
+    }
+
+    /// Deterministic one-line digest (sorted FNV over the feature set)
+    /// for jobs-invariance checks in CI.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for f in &self.hit {
+            h ^= *f as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_are_monotone() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(1024), 11);
+    }
+
+    #[test]
+    fn outcome_labels_round_trip() {
+        for k in OutcomeKind::all() {
+            assert_eq!(OutcomeKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(OutcomeKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn novelty_detection() {
+        let mut map = CoverageMap::default();
+        let sig = Signals { arrived_hw: 3, ranks: 4, ..Default::default() };
+        let feats = features(&sig, OutcomeKind::Ok);
+        assert!(map.any_new(&feats));
+        assert_eq!(map.add_all(&feats), feats.len());
+        assert!(!map.any_new(&feats));
+        assert_eq!(map.add_all(&feats), 0);
+        // A different outcome alone is one new feature.
+        let feats2 = features(&sig, OutcomeKind::Deadlock);
+        assert!(map.any_new(&feats2));
+        assert_eq!(map.add_all(&feats2), 1);
+    }
+
+    #[test]
+    fn fault_diagnoses_are_not_findings_under_armed_plans() {
+        assert!(!OutcomeKind::Stalled.is_finding(true));
+        assert!(OutcomeKind::Stalled.is_finding(false));
+        assert!(OutcomeKind::Deadlock.is_finding(true));
+        assert!(!OutcomeKind::Ok.is_finding(false));
+    }
+}

@@ -1,0 +1,512 @@
+//! The fuzzer's unit of work: a self-contained scenario with a
+//! canonical, hashable text form.
+//!
+//! A [`FuzzScenario`] is everything one fuzz candidate needs to replay:
+//! explicit per-rank op traces (not a program closure — mutants have no
+//! source), a machine, an execution mode, a torus mapping, and an
+//! optional fault plan. The canonical serialization reuses the
+//! machine-canon block from `hpcsim-cache` and extends it with an op
+//! grammar, so corpus entries and minimized regressions are plain text
+//! files that round-trip bit-exactly:
+//!
+//! ```text
+//! hpcsim-fuzz-scenario/1
+//! ranks 4 mode vn mapping TXYZ
+//! <6 machine canon lines>
+//! faults none                  | faults <seed> <profile>
+//! trace 0 3
+//! c 0x4059000000000000 0x0 0x3ff0000000000000 0x0 1
+//! s 1 0 1024 0
+//! w 0
+//! trace 1 …
+//! ```
+//!
+//! Floats are serialized as IEEE-754 bit patterns (`0x{:016x}`) and
+//! times as raw picosecond counts, so `mutate → serialize → parse →
+//! rehash` is the identity — the determinism contract every corpus
+//! artifact and checked-in regression relies on.
+
+use hpcsim_cache::{fnv1a_128, machine_from_canon, machine_to_canon, FaultSpec, SpecHash,
+                   SpecParseError};
+use hpcsim_engine::SimTime;
+use hpcsim_faults::{FaultPlan, FaultProfile};
+use hpcsim_machine::{ExecMode, MachineSpec, Workload};
+use hpcsim_mpi::{CommId, Op, RankLayout, Req, SimConfig};
+use hpcsim_net::{CollectiveOp, DType};
+use hpcsim_topo::{Mapping, Placement};
+use std::fmt::Write as _;
+
+/// Magic first line of the canonical serialization.
+pub const FUZZ_MAGIC: &str = "hpcsim-fuzz-scenario/1";
+
+/// One fuzz candidate: traces × machine × mode × mapping × faults.
+///
+/// Equality is *canonical*: two scenarios are equal iff their
+/// [`FuzzScenario::to_canon`] texts match. (Display-only fields like
+/// the core's marketing name are not part of a scenario's identity —
+/// the machine canon drops them, and round-tripping must be `==`.)
+#[derive(Debug, Clone)]
+pub struct FuzzScenario {
+    /// The machine model to replay against.
+    pub machine: MachineSpec,
+    /// Execution mode (tasks per node).
+    pub mode: ExecMode,
+    /// Torus mapping (BlueGene layouts; ignored on XT machines).
+    pub mapping: Mapping,
+    /// Optional fault plan identity.
+    pub faults: Option<FaultSpec>,
+    /// Per-rank op traces; `traces.len()` is the world size.
+    pub traces: Vec<Vec<Op>>,
+}
+
+impl FuzzScenario {
+    /// World size.
+    pub fn ranks(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total op count across all ranks (the minimizer's metric).
+    pub fn total_ops(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// The fault plan this scenario arms, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.map(|f| FaultPlan::new(f.seed, f.profile))
+    }
+
+    /// The replay configuration: BlueGene machines honor the mapping,
+    /// XT machines use their compact default placement (the mapping
+    /// field is carried but inert there).
+    pub fn sim_config(&self) -> SimConfig {
+        let ranks = self.ranks();
+        let layout = if self.machine.id.is_bluegene() {
+            RankLayout::bluegene(&self.machine, ranks, self.mode, self.mapping)
+        } else {
+            RankLayout::xt(&self.machine, ranks, self.mode, Placement::Compact)
+        };
+        SimConfig { machine: self.machine.clone(), mode: self.mode, threads: 1, layout }
+    }
+
+    /// 128-bit content hash of the canonical text.
+    pub fn hash(&self) -> SpecHash {
+        fnv1a_128(self.to_canon().as_bytes())
+    }
+
+    /// Canonical text form (see module docs for the grammar).
+    pub fn to_canon(&self) -> String {
+        let mut out = String::with_capacity(256 + 24 * self.total_ops());
+        out.push_str(FUZZ_MAGIC);
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "ranks {} mode {} mapping {}",
+            self.ranks(),
+            mode_label(self.mode),
+            self.mapping.name()
+        );
+        out.push_str(&machine_to_canon(&self.machine));
+        match self.faults {
+            None => out.push_str("faults none\n"),
+            Some(f) => {
+                let _ = writeln!(out, "faults {} {}", f.seed, f.profile.label());
+            }
+        }
+        for (r, trace) in self.traces.iter().enumerate() {
+            let _ = writeln!(out, "trace {r} {}", trace.len());
+            for op in trace {
+                write_op(&mut out, op);
+            }
+        }
+        out
+    }
+
+    /// Parse the canonical text form. Inverse of [`FuzzScenario::to_canon`]:
+    /// `parse(s.to_canon()) == s` and re-serialization is byte-identical.
+    pub fn parse(text: &str) -> Result<FuzzScenario, SpecParseError> {
+        let mut cur = Cursor { iter: text.lines(), line: 0 };
+        let magic = cur.next_line("magic")?;
+        if magic != FUZZ_MAGIC {
+            return Err(cur.err(format!("bad magic {magic:?}, want {FUZZ_MAGIC:?}")));
+        }
+
+        let header = cur.next_line("ranks header")?;
+        let mut tok = header.split_whitespace();
+        expect(&mut tok, "ranks", &cur)?;
+        let ranks: usize = parse_num(tok.next(), "rank count", &cur)?;
+        if ranks == 0 || ranks > MAX_RANKS {
+            return Err(cur.err(format!("rank count {ranks} outside 1..={MAX_RANKS}")));
+        }
+        expect(&mut tok, "mode", &cur)?;
+        let mode = match tok.next() {
+            Some("smp") => ExecMode::Smp,
+            Some("dual") => ExecMode::Dual,
+            Some("vn") => ExecMode::Vn,
+            other => return Err(cur.err(format!("bad mode {other:?}"))),
+        };
+        expect(&mut tok, "mapping", &cur)?;
+        let mapping = tok
+            .next()
+            .and_then(Mapping::parse)
+            .ok_or_else(|| cur.err("bad mapping".into()))?;
+
+        // The machine canon block is exactly 6 lines (machine, core,
+        // mem, nic, pack, power — pinned by hpcsim-cache's grammar).
+        let mut machine_text = String::new();
+        for _ in 0..6 {
+            machine_text.push_str(cur.next_line("machine canon")?);
+            machine_text.push('\n');
+        }
+        let machine = machine_from_canon(&machine_text).map_err(|e| SpecParseError {
+            line: cur.line - 6 + e.line,
+            message: e.message,
+        })?;
+
+        let fline = cur.next_line("faults")?;
+        let mut tok = fline.split_whitespace();
+        expect(&mut tok, "faults", &cur)?;
+        let faults = match tok.next() {
+            Some("none") => None,
+            Some(seed) => {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| cur.err(format!("bad fault seed {seed:?}")))?;
+                let profile = tok
+                    .next()
+                    .and_then(FaultProfile::parse)
+                    .ok_or_else(|| cur.err("bad fault profile".into()))?;
+                Some(FaultSpec { seed, profile })
+            }
+            None => return Err(cur.err("missing fault spec".into())),
+        };
+
+        let mut traces = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            let tline = cur.next_line("trace header")?;
+            let mut tok = tline.split_whitespace();
+            expect(&mut tok, "trace", &cur)?;
+            let rr: usize = parse_num(tok.next(), "trace rank", &cur)?;
+            if rr != r {
+                return Err(cur.err(format!("trace rank {rr}, expected {r}")));
+            }
+            let nops: usize = parse_num(tok.next(), "trace op count", &cur)?;
+            if nops > MAX_OPS_PER_RANK {
+                return Err(cur.err(format!("op count {nops} exceeds {MAX_OPS_PER_RANK}")));
+            }
+            let mut trace = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                let oline = cur.next_line("op")?;
+                trace.push(parse_op(oline, ranks, &cur)?);
+            }
+            traces.push(trace);
+        }
+        if let Some(extra) = cur.iter.next() {
+            if !extra.trim().is_empty() {
+                return Err(SpecParseError {
+                    line: cur.line + 1,
+                    message: format!("trailing content {extra:?}"),
+                });
+            }
+        }
+        Ok(FuzzScenario { machine, mode, mapping, faults, traces })
+    }
+}
+
+impl PartialEq for FuzzScenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_canon() == other.to_canon()
+    }
+}
+
+impl Eq for FuzzScenario {}
+
+/// Upper bound on world size (generator stays well below; the parser
+/// rejects hand-edited monsters before they allocate).
+pub const MAX_RANKS: usize = 512;
+/// Upper bound on per-rank trace length accepted by the parser.
+pub const MAX_OPS_PER_RANK: usize = 1 << 16;
+
+/// Stable lowercase mode label (matches `hpcsim-cache`'s spelling).
+pub fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Smp => "smp",
+        ExecMode::Dual => "dual",
+        ExecMode::Vn => "vn",
+    }
+}
+
+fn bits(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+fn dtype_label(d: DType) -> &'static str {
+    match d {
+        DType::F32 => "f32",
+        DType::F64 => "f64",
+        DType::Int => "int",
+    }
+}
+
+fn write_op(out: &mut String, op: &Op) {
+    match *op {
+        Op::Compute { work, threads } => {
+            // The fuzz grammar carries exactly one workload shape —
+            // fully explicit costs — so the line format stays closed
+            // under mutation. Generator and mutator only emit Custom.
+            let Workload::Custom { flops, dram_bytes, simd_eff, serial_frac } = work else {
+                panic!("fuzz scenarios carry Workload::Custom only, got {work:?}");
+            };
+            let _ = writeln!(
+                out,
+                "c {} {} {} {} {threads}",
+                bits(flops),
+                bits(dram_bytes),
+                bits(simd_eff),
+                bits(serial_frac)
+            );
+        }
+        Op::Delay { time } => {
+            let _ = writeln!(out, "d {}", time.0);
+        }
+        Op::Isend { dst, tag, bytes, req } => {
+            let _ = writeln!(out, "s {dst} {tag} {bytes} {}", req.0);
+        }
+        Op::Irecv { src, tag, bytes, req } => {
+            let _ = writeln!(out, "r {src} {tag} {bytes} {}", req.0);
+        }
+        Op::Wait { req } => {
+            let _ = writeln!(out, "w {}", req.0);
+        }
+        Op::Mark { id } => {
+            let _ = writeln!(out, "m {id}");
+        }
+        Op::Collective { comm, op } => {
+            assert_eq!(comm, CommId::WORLD, "fuzz scenarios use WORLD collectives only");
+            match op {
+                CollectiveOp::Barrier => out.push_str("k bar\n"),
+                CollectiveOp::Bcast { bytes } => {
+                    let _ = writeln!(out, "k bc {bytes}");
+                }
+                CollectiveOp::Reduce { bytes, dtype } => {
+                    let _ = writeln!(out, "k rd {bytes} {}", dtype_label(dtype));
+                }
+                CollectiveOp::Allreduce { bytes, dtype } => {
+                    let _ = writeln!(out, "k ar {bytes} {}", dtype_label(dtype));
+                }
+                CollectiveOp::Allgather { bytes_per_rank } => {
+                    let _ = writeln!(out, "k ag {bytes_per_rank}");
+                }
+                CollectiveOp::Alltoall { bytes_per_pair } => {
+                    let _ = writeln!(out, "k aa {bytes_per_pair}");
+                }
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    iter: std::str::Lines<'a>,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_line(&mut self, what: &str) -> Result<&'a str, SpecParseError> {
+        self.line += 1;
+        self.iter
+            .next()
+            .ok_or_else(|| SpecParseError { line: self.line, message: format!("missing {what}") })
+    }
+
+    fn err(&self, message: String) -> SpecParseError {
+        SpecParseError { line: self.line, message }
+    }
+}
+
+fn expect(
+    tok: &mut std::str::SplitWhitespace<'_>,
+    want: &str,
+    cur: &Cursor<'_>,
+) -> Result<(), SpecParseError> {
+    match tok.next() {
+        Some(t) if t == want => Ok(()),
+        other => Err(cur.err(format!("expected {want:?}, got {other:?}"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    tok: Option<&str>,
+    what: &str,
+    cur: &Cursor<'_>,
+) -> Result<T, SpecParseError> {
+    tok.and_then(|t| t.parse().ok()).ok_or_else(|| cur.err(format!("bad {what}")))
+}
+
+fn parse_bits(tok: Option<&str>, what: &str, cur: &Cursor<'_>) -> Result<f64, SpecParseError> {
+    let t = tok.ok_or_else(|| cur.err(format!("missing {what}")))?;
+    let hex = t
+        .strip_prefix("0x")
+        .ok_or_else(|| cur.err(format!("bad {what} {t:?}")))?;
+    let raw = u64::from_str_radix(hex, 16).map_err(|_| cur.err(format!("bad {what} {t:?}")))?;
+    Ok(f64::from_bits(raw))
+}
+
+fn parse_dtype(tok: Option<&str>, cur: &Cursor<'_>) -> Result<DType, SpecParseError> {
+    match tok {
+        Some("f32") => Ok(DType::F32),
+        Some("f64") => Ok(DType::F64),
+        Some("int") => Ok(DType::Int),
+        other => Err(cur.err(format!("bad dtype {other:?}"))),
+    }
+}
+
+fn parse_op(line: &str, ranks: usize, cur: &Cursor<'_>) -> Result<Op, SpecParseError> {
+    let mut tok = line.split_whitespace();
+    let kind = tok.next().ok_or_else(|| cur.err("empty op line".into()))?;
+    let op = match kind {
+        "c" => {
+            let flops = parse_bits(tok.next(), "flops", cur)?;
+            let dram_bytes = parse_bits(tok.next(), "dram_bytes", cur)?;
+            let simd_eff = parse_bits(tok.next(), "simd_eff", cur)?;
+            let serial_frac = parse_bits(tok.next(), "serial_frac", cur)?;
+            let threads: u32 = parse_num(tok.next(), "threads", cur)?;
+            Op::Compute {
+                work: Workload::Custom { flops, dram_bytes, simd_eff, serial_frac },
+                threads,
+            }
+        }
+        "d" => Op::Delay { time: SimTime(parse_num(tok.next(), "delay", cur)?) },
+        "s" | "r" => {
+            let peer: usize = parse_num(tok.next(), "peer", cur)?;
+            if peer >= ranks {
+                return Err(cur.err(format!("peer {peer} outside world of {ranks}")));
+            }
+            let tag: u32 = parse_num(tok.next(), "tag", cur)?;
+            let bytes: u64 = parse_num(tok.next(), "bytes", cur)?;
+            let req = Req(parse_num(tok.next(), "req", cur)?);
+            if kind == "s" {
+                Op::Isend { dst: peer, tag, bytes, req }
+            } else {
+                Op::Irecv { src: peer, tag, bytes, req }
+            }
+        }
+        "w" => Op::Wait { req: Req(parse_num(tok.next(), "req", cur)?) },
+        "m" => Op::Mark { id: parse_num(tok.next(), "mark id", cur)? },
+        "k" => {
+            let op = match tok.next() {
+                Some("bar") => CollectiveOp::Barrier,
+                Some("bc") => CollectiveOp::Bcast { bytes: parse_num(tok.next(), "bytes", cur)? },
+                Some("rd") => CollectiveOp::Reduce {
+                    bytes: parse_num(tok.next(), "bytes", cur)?,
+                    dtype: parse_dtype(tok.next(), cur)?,
+                },
+                Some("ar") => CollectiveOp::Allreduce {
+                    bytes: parse_num(tok.next(), "bytes", cur)?,
+                    dtype: parse_dtype(tok.next(), cur)?,
+                },
+                Some("ag") => CollectiveOp::Allgather {
+                    bytes_per_rank: parse_num(tok.next(), "bytes", cur)?,
+                },
+                Some("aa") => CollectiveOp::Alltoall {
+                    bytes_per_pair: parse_num(tok.next(), "bytes", cur)?,
+                },
+                other => return Err(cur.err(format!("bad collective {other:?}"))),
+            };
+            Op::Collective { comm: CommId::WORLD, op }
+        }
+        other => return Err(cur.err(format!("bad op kind {other:?}"))),
+    };
+    if tok.next().is_some() {
+        return Err(cur.err(format!("trailing tokens on op line {line:?}")));
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim_machine::registry::bluegene_p;
+
+    fn sample() -> FuzzScenario {
+        FuzzScenario {
+            machine: bluegene_p(),
+            mode: ExecMode::Vn,
+            mapping: Mapping::txyz(),
+            faults: Some(FaultSpec { seed: 7, profile: FaultProfile::Mixed }),
+            traces: vec![
+                vec![
+                    Op::Compute {
+                        work: Workload::Custom {
+                            flops: 1e6,
+                            dram_bytes: 0.0,
+                            simd_eff: 1.0,
+                            serial_frac: 0.0,
+                        },
+                        threads: 1,
+                    },
+                    Op::Isend { dst: 1, tag: 3, bytes: 1024, req: Req(0) },
+                    Op::Wait { req: Req(0) },
+                    Op::Collective { comm: CommId::WORLD, op: CollectiveOp::Barrier },
+                ],
+                vec![
+                    Op::Irecv { src: 0, tag: 3, bytes: 1024, req: Req(0) },
+                    Op::Wait { req: Req(0) },
+                    Op::Delay { time: SimTime::from_us(5) },
+                    Op::Collective {
+                        comm: CommId::WORLD,
+                        op: CollectiveOp::Allreduce { bytes: 64, dtype: DType::F64 },
+                    },
+                    Op::Mark { id: 9 },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn canon_round_trips_bit_exactly() {
+        let sc = sample();
+        let text = sc.to_canon();
+        let back = FuzzScenario::parse(&text).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(back.to_canon(), text);
+        assert_eq!(back.hash(), sc.hash());
+    }
+
+    #[test]
+    fn faultless_scenario_round_trips() {
+        let mut sc = sample();
+        sc.faults = None;
+        let back = FuzzScenario::parse(&sc.to_canon()).unwrap();
+        assert_eq!(back, sc);
+        assert!(back.fault_plan().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic_and_ranks() {
+        assert!(FuzzScenario::parse("nope\n").is_err());
+        let text = sample().to_canon().replace("ranks 2", "ranks 9999");
+        assert!(FuzzScenario::parse(&text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_out_of_world_peer() {
+        let text = sample().to_canon().replace("s 1 3 1024 0", "s 5 3 1024 0");
+        let err = FuzzScenario::parse(&text).unwrap_err();
+        assert!(err.message.contains("outside world"), "{err}");
+    }
+
+    #[test]
+    fn parse_line_numbers_point_at_the_culprit() {
+        let text = sample().to_canon().replace("w 0\nk bar", "w 0\nk nonsense");
+        let err = FuzzScenario::parse(&text).unwrap_err();
+        assert!(err.message.contains("bad collective"), "{err}");
+        // magic + header + 6 machine + faults + trace-hdr put the
+        // first op at line 11; the bad collective is op 4 → line 14
+        assert_eq!(err.line, 14);
+    }
+
+    #[test]
+    fn sim_config_matches_world_size() {
+        let sc = sample();
+        assert_eq!(sc.sim_config().ranks(), 2);
+    }
+}

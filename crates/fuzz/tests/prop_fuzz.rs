@@ -1,0 +1,71 @@
+//! Property tests pinning the fuzzer's two foundational contracts:
+//!
+//! 1. **Generator termination** — every generator-produced program
+//!    replays to completion on a contention-free pristine machine (the
+//!    phase discipline makes deadlock impossible by construction), and
+//!    agrees with the DAG oracle while doing it.
+//! 2. **Corpus serialization identity** — mutate → serialize → parse →
+//!    rehash is the identity, so corpus artifacts and checked-in
+//!    regressions reproduce bit-exactly from their text form alone.
+
+use hpcsim_fuzz::{generate, mutate, run_scenario, FuzzScenario, OutcomeKind};
+use hpcsim_machine::registry::bluegene_p;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated programs terminate on a pristine contention-flat
+    /// machine: the replay never deadlocks, stalls or livelocks. The
+    /// differential oracle may still flag a (terminating) Dag-vs-Replay
+    /// divergence — the fuzzer's first campaign found exactly one, now
+    /// pinned as `tests/corpus/divergence.fuzz` at the workspace root —
+    /// so Divergence counts as termination here, not as a hang.
+    #[test]
+    fn generator_programs_terminate_pristine(seed: u64, iter in 0u64..512) {
+        let mut sc = generate(seed, iter);
+        sc.faults = None;
+        sc.machine = bluegene_p().with_flat_contention();
+        let rep = run_scenario(&sc);
+        prop_assert!(
+            matches!(rep.outcome, OutcomeKind::Ok | OutcomeKind::Divergence),
+            "outcome {:?}: {}", rep.outcome, rep.detail
+        );
+    }
+
+    /// Generated programs also terminate on their own (possibly
+    /// contended) machine when no fault plan is armed.
+    #[test]
+    fn generator_programs_terminate_contended(seed: u64, iter in 0u64..512) {
+        let mut sc = generate(seed, iter);
+        sc.faults = None;
+        let rep = run_scenario(&sc);
+        prop_assert!(
+            matches!(rep.outcome, OutcomeKind::Ok | OutcomeKind::Divergence),
+            "outcome {:?}: {}", rep.outcome, rep.detail
+        );
+    }
+
+    /// mutate → serialize → parse → rehash is the identity, for any
+    /// mutation count, including the re-serialized text being
+    /// byte-identical (idempotent canonicalization).
+    #[test]
+    fn mutate_serialize_parse_rehash_identity(seed: u64, iter in 0u64..512, count in 1u32..8) {
+        let base = generate(seed, iter);
+        let mutant = mutate(&base, seed ^ 0x9e37, iter, count);
+        let text = mutant.to_canon();
+        let parsed = FuzzScenario::parse(&text).unwrap();
+        prop_assert_eq!(parsed.to_canon(), text);
+        prop_assert_eq!(parsed.hash(), mutant.hash());
+        prop_assert_eq!(&parsed, &mutant);
+    }
+
+    /// The generator itself round-trips too (the corpus admits fresh
+    /// candidates, not just mutants).
+    #[test]
+    fn generate_serialize_parse_rehash_identity(seed: u64, iter in 0u64..512) {
+        let sc = generate(seed, iter);
+        let parsed = FuzzScenario::parse(&sc.to_canon()).unwrap();
+        prop_assert_eq!(parsed.hash(), sc.hash());
+    }
+}

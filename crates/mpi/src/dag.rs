@@ -965,6 +965,14 @@ impl TraceDag {
         self.ranks
     }
 
+    /// Structural deadlock detected at compile time, as `(unfinished
+    /// rank count, example rank, example op index)` — `None` when the
+    /// traces can finish. The fuzzer's differential oracle cross-checks
+    /// this against the replay engine's own deadlock diagnosis.
+    pub fn deadlock(&self) -> Option<(usize, usize, usize)> {
+        self.deadlock
+    }
+
     /// Structure counts, for benches and the sweep report.
     pub fn stats(&self) -> DagStats {
         DagStats {

@@ -21,6 +21,8 @@ pub enum SimError {
         bytes: u64,
         /// Consecutive lost attempts observed.
         lost: u32,
+        /// Index of the originating send in the rank's program trace.
+        op: usize,
     },
     /// Link outages cut every route between two ranks' nodes.
     Unreachable {
@@ -33,20 +35,66 @@ pub enum SimError {
         /// Payload size.
         bytes: u64,
     },
+    /// The event queue kept cycling without the clock advancing: the
+    /// step-budget watchdog tripped. Unlike [`SimError::Stalled`] (a
+    /// diagnosed protocol dead end) this names a scheduling livelock —
+    /// the engine was still busy, just not going anywhere.
+    Livelock {
+        /// Rank whose event tripped the watchdog.
+        rank: usize,
+        /// Events processed since the clock last advanced.
+        steps: u64,
+    },
+    /// The event queue drained with ranks still blocked: a structural
+    /// deadlock (e.g. a receive nobody sends to, or mismatched
+    /// collective participation).
+    Deadlock {
+        /// How many ranks never finished.
+        unfinished: usize,
+        /// Example stuck rank.
+        rank: usize,
+        /// That rank's program op index.
+        op: usize,
+    },
+    /// Two members recorded different collectives at the same sequence
+    /// slot on one communicator.
+    CollectiveMismatch {
+        /// Rank whose collective disagreed with an earlier member's.
+        rank: usize,
+        /// The communicator id.
+        comm: u32,
+        /// The disagreeing rank's program op index.
+        op: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Stalled { rank, peer, tag, bytes, lost } => write!(
+            SimError::Stalled { rank, peer, tag, bytes, lost, op } => write!(
                 f,
-                "rank {rank} stalled: message to rank {peer} (tag {tag}, {bytes} bytes) \
-                 lost {lost} times; retransmit budget exhausted"
+                "rank {rank} stalled at op {op}: message to rank {peer} (tag {tag}, {bytes} \
+                 bytes) lost {lost} times; retransmit budget exhausted"
             ),
             SimError::Unreachable { rank, peer, tag, bytes } => write!(
                 f,
                 "rank {rank}: no surviving route to rank {peer} (tag {tag}, {bytes} bytes); \
                  destination cut off by link outages"
+            ),
+            SimError::Livelock { rank, steps } => write!(
+                f,
+                "livelock: event queue cycled {steps} steps without clock progress \
+                 (last event on rank {rank}); step-budget watchdog tripped"
+            ),
+            // keep the historical panic text: replay_traces panics with
+            // exactly this Display, and callers match on "deadlock"
+            SimError::Deadlock { unfinished, rank, op } => write!(
+                f,
+                "deadlock: {unfinished} ranks did not finish, e.g. rank {rank} at op {op}"
+            ),
+            SimError::CollectiveMismatch { rank, comm, op } => write!(
+                f,
+                "rank {rank}: collective mismatch on comm {comm} at op {op}"
             ),
         }
     }

@@ -218,6 +218,7 @@ pub struct TraceSim {
     comms: Vec<Vec<usize>>,
     coll_models: Vec<CollectiveModel>,
     faults: Option<FaultContext>,
+    step_budget: Option<u64>,
 }
 
 impl TraceSim {
@@ -241,7 +242,21 @@ impl TraceSim {
             comms: vec![world],
             coll_models: vec![world_model],
             faults: None,
+            step_budget: None,
         }
+    }
+
+    /// Override the livelock watchdog's step budget: the maximum number
+    /// of events the replay may process without the clock advancing
+    /// before it gives up with [`SimError::Livelock`]. The default
+    /// budget is derived from the trace's own event bound (one initial
+    /// resume per rank, two events per send, one per collective entry),
+    /// which a well-formed replay cannot exceed even if every event
+    /// lands at the same timestamp — so the watchdog never misfires on
+    /// legitimate programs. Fuzzing sets a tighter budget to bound
+    /// adversarial scenarios in wall-clock time.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
     }
 
     /// Arm fault injection from a seeded plan. Link faults are drawn for
@@ -328,8 +343,10 @@ impl TraceSim {
         self.replay_traces_probe(traces, &mut NoopTracer)
     }
 
-    /// Fallible replay: a fault-injected stall or cut-off destination
-    /// comes back as a diagnosed [`SimError`] instead of a panic.
+    /// Fallible replay: a fault-injected stall, cut-off destination,
+    /// structural deadlock, collective mismatch, or watchdog-detected
+    /// livelock comes back as a diagnosed [`SimError`] instead of a
+    /// panic.
     pub fn try_replay_traces(&mut self, traces: &[Vec<Op>]) -> Result<SimResult, SimError> {
         self.try_replay_traces_probe(traces, &mut NoopTracer)
     }
@@ -437,6 +454,15 @@ impl TraceSim {
             events.push(SimTime::ZERO, Ev::Resume(r));
         }
 
+        // Livelock watchdog: a well-formed replay processes at most
+        // n + 2*sends + colls events in total, so that many events at a
+        // single timestamp is already impossible — exceeding it means
+        // the queue is cycling without clock progress.
+        let step_budget =
+            self.step_budget.unwrap_or((n + 2 * sends + colls) as u64 + 1024);
+        let mut last_progress = SimTime::ZERO;
+        let mut stuck_steps = 0u64;
+
         fn ensure_req(v: &mut Vec<Option<SimTime>>, r: Req) {
             if v.len() <= r.0 as usize {
                 v.resize(r.0 as usize + 1, None);
@@ -445,6 +471,20 @@ impl TraceSim {
 
         while let Some(ev) = events.pop() {
             let now = ev.time;
+            if now > last_progress {
+                last_progress = now;
+                stuck_steps = 0;
+            } else {
+                stuck_steps += 1;
+                if stuck_steps > step_budget {
+                    let rank = match ev.payload {
+                        Ev::Resume(r) => r,
+                        Ev::Arrive { msg } => msgs[msg].dst,
+                    };
+                    stalled = Some(SimError::Livelock { rank, steps: stuck_steps });
+                    break;
+                }
+            }
             match ev.payload {
                 Ev::Arrive { msg } => {
                     let (dst, src, tag, flow, flow2) = {
@@ -583,6 +623,7 @@ impl TraceSim {
                                                     tag,
                                                     bytes,
                                                     lost,
+                                                    op: pc[r],
                                                 });
                                                 break 'advance;
                                             }
@@ -699,8 +740,11 @@ impl TraceSim {
                                 ensure_req(&mut req_done[r], req);
                                 match arrived[r].pop(src, tag) {
                                     Some(midx) => {
-                                        // unexpected message: pay the copy
-                                        debug_assert_eq!(msgs[midx].bytes, bytes);
+                                        // unexpected message: pay the copy,
+                                        // priced by what actually arrived
+                                        // (a mismatched receive size does
+                                        // not change what was sent)
+                                        let _ = bytes;
                                         let copy = SimTime::from_secs(
                                             msgs[midx].bytes as f64 / copy_bw,
                                         );
@@ -796,10 +840,14 @@ impl TraceSim {
                                     }
                                     let inst = &mut instances[my_seq as usize];
                                     if let Some(prev) = inst.op {
-                                        assert_eq!(
-                                            prev, op,
-                                            "rank {r}: collective mismatch on comm {cid}"
-                                        );
+                                        if prev != op {
+                                            stalled = Some(SimError::CollectiveMismatch {
+                                                rank: r,
+                                                comm: cid,
+                                                op: pc[r],
+                                            });
+                                            break 'advance;
+                                        }
                                     } else {
                                         inst.op = Some(op);
                                     }
@@ -853,7 +901,7 @@ impl TraceSim {
         m.replay_runs.inc();
         m.fault_retransmits.add(total_retransmits);
         m.fault_detour_legs.add(total_detour_legs);
-        if stalled.is_some() {
+        if matches!(stalled, Some(SimError::Stalled { .. } | SimError::Unreachable { .. })) {
             m.fault_stalls.inc();
         }
 
@@ -862,13 +910,13 @@ impl TraceSim {
         }
 
         let unfinished: Vec<usize> = (0..n).filter(|&r| !finished[r]).collect();
-        assert!(
-            unfinished.is_empty(),
-            "deadlock: {} ranks did not finish, e.g. rank {} at op {}",
-            unfinished.len(),
-            unfinished[0],
-            pc[unfinished[0]],
-        );
+        if !unfinished.is_empty() {
+            return Err(SimError::Deadlock {
+                unfinished: unfinished.len(),
+                rank: unfinished[0],
+                op: pc[unfinished[0]],
+            });
+        }
 
         Ok(SimResult { finish, busy, bytes_sent: total_bytes, messages: total_msgs, marks })
     }
@@ -1070,6 +1118,80 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_is_a_diagnosed_error_on_the_fallible_path() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let err = s
+            .try_run(&FnProgram(|mpi: &mut Mpi| {
+                let peer = 1 - mpi.rank();
+                mpi.recv(peer, 0, 8);
+            }))
+            .expect_err("unmatched receives must deadlock");
+        match err {
+            SimError::Deadlock { unfinished, rank, op } => {
+                assert_eq!(unfinished, 2);
+                assert_eq!(rank, 0);
+                // recv = [Irecv, Wait]; the rank is stuck on the Wait
+                assert_eq!(op, 1);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn collective_mismatch_is_diagnosed() {
+        let mut s = sim(bluegene_p(), 2, ExecMode::Smp);
+        let err = s
+            .try_run(&FnProgram(|mpi: &mut Mpi| {
+                if mpi.rank() == 0 {
+                    mpi.barrier(CommId::WORLD);
+                } else {
+                    mpi.allreduce(CommId::WORLD, 64, DType::F64);
+                }
+            }))
+            .expect_err("disagreeing collectives must be diagnosed");
+        match err {
+            SimError::CollectiveMismatch { rank, comm, op } => {
+                assert_eq!((rank, comm, op), (1, 0, 0));
+            }
+            other => panic!("expected collective mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tight_step_budget_diagnoses_livelock() {
+        let mut s = sim(bluegene_p(), 8, ExecMode::Vn);
+        s.set_step_budget(Some(2));
+        let err = s
+            .try_run(&FnProgram(|mpi: &mut Mpi| {
+                mpi.barrier(CommId::WORLD);
+            }))
+            .expect_err("8 same-time resumes must exceed a 2-step budget");
+        match err {
+            SimError::Livelock { rank, steps } => {
+                assert_eq!(steps, 3);
+                assert_eq!(rank, 2);
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+        assert!(err.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn default_step_budget_never_misfires() {
+        // every event of this run lands at t=0 (zero-cost barrier chain
+        // would; marks certainly do) — the derived budget must absorb it
+        let mut s = sim(bluegene_p(), 64, ExecMode::Vn);
+        let res = s
+            .try_run(&FnProgram(|mpi: &mut Mpi| {
+                for i in 0..16 {
+                    mpi.mark(i);
+                }
+            }))
+            .expect("pristine zero-time program must finish");
+        assert_eq!(res.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
     fn xt_faster_for_bandwidth_bound_exchange() {
         let run = |machine: MachineSpec| {
             let mut s = sim(machine, 2, ExecMode::Smp);
@@ -1185,13 +1307,16 @@ mod tests {
                 }))
                 .expect_err("total loss must stall");
             match err {
-                SimError::Stalled { rank, peer, tag, bytes, lost } => {
+                SimError::Stalled { rank, peer, tag, bytes, lost, op } => {
                     assert_eq!((rank, peer, tag, bytes), (0, 1, 7, 4096));
                     assert!(lost > RetransmitPolicy::default().max_retries);
+                    // mpi.send() expands to [Isend, Wait]; the Isend is op 0
+                    assert_eq!(op, 0);
                 }
                 other => panic!("expected a stall, got {other}"),
             }
             assert!(err.to_string().contains("retransmit budget exhausted"));
+            assert!(err.to_string().contains("at op 0"));
         }
 
         #[test]

@@ -38,6 +38,9 @@ pub use hpcsim_cache as cache;
 pub use hpcsim_core as core;
 /// Discrete-event simulation primitives.
 pub use hpcsim_engine as engine;
+/// Coverage-guided adversarial scenario fuzzing: generator, mutator,
+/// differential oracle, minimizer, deterministic corpus.
+pub use hpcsim_fuzz as fuzz;
 /// Deterministic fault plans: link outages, OS noise, message loss.
 pub use hpcsim_faults as faults;
 /// HPCC / HALO / IMB / TOP500 benchmark programs (Tables 2, Figures 1–3).
